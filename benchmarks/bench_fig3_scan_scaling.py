@@ -1,0 +1,18 @@
+"""Figure 3 — thread- vs warp-based selection scanning as N grows (k=100).
+
+Paper shape: the warp-based approach wins at small N (memory coalescing)
+but the thread-based approach overtakes it and scales better as the
+number of RRR sets grows.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig3_scan_scaling(benchmark, config, report_writer):
+    result = benchmark.pedantic(
+        figures.fig3_scan_scaling, args=(config,), rounds=1, iterations=1
+    )
+    report_writer("fig3_scan_scaling", result.render())
+    thread, warp = result.series
+    assert warp.y[0] < thread.y[0]  # small N: warp wins
+    assert thread.y[-1] < warp.y[-1]  # large N: thread wins

@@ -1,0 +1,15 @@
+"""Figure 4 — memory saved by log encoding (RRR sets + network data).
+
+Paper: up to 54% saved on small networks, >=16.6% on the large ones.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig4_log_encoding_memory(benchmark, config, report_writer):
+    result = benchmark.pedantic(
+        figures.fig4_log_encoding_memory, args=(config,), rounds=1, iterations=1
+    )
+    report_writer("fig4_log_encoding_memory", result.render())
+    total = result.series[0]
+    assert all(y > 16.0 for y in total.y)

@@ -1,0 +1,22 @@
+"""Figure 5 — speedup from source-vertex elimination vs the fraction of
+singleton (source-only) RRR sets.
+
+Paper shape: networks whose samples are dominated by singleton sets gain
+the most from the heuristic.
+"""
+
+import numpy as np
+
+from repro.experiments import figures
+
+
+def test_fig5_source_elim_speedup(benchmark, config, report_writer):
+    result = benchmark.pedantic(
+        figures.fig5_source_elim_speedup, args=(config,), rounds=1, iterations=1
+    )
+    report_writer("fig5_source_elim_speedup", result.render())
+    singles, speedup = result.series
+    # positive correlation between singleton fraction and speedup
+    if len(singles.y) >= 4:
+        corr = np.corrcoef(singles.y, speedup.y)[0, 1]
+        assert corr > 0.0

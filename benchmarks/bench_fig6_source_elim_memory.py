@@ -1,0 +1,19 @@
+"""Figure 6 — percent change in R-store memory from source elimination.
+
+Paper: an average reduction of 8.65%, strongest above 50% singleton
+fraction, with a few networks slightly increasing (fewer but larger
+sets).
+"""
+
+import numpy as np
+
+from repro.experiments import figures
+
+
+def test_fig6_source_elim_memory(benchmark, config, report_writer):
+    result = benchmark.pedantic(
+        figures.fig6_source_elim_memory, args=(config,), rounds=1, iterations=1
+    )
+    report_writer("fig6_source_elim_memory", result.render())
+    _, change = result.series
+    assert np.mean(change.y) < 10.0  # memory must not systematically blow up

@@ -1,0 +1,55 @@
+"""Micro-benchmarks of the actual Python kernels (wall-clock).
+
+Unlike the table/figure benches — which report *simulated device cycles*
+— these measure the real NumPy implementations with pytest-benchmark:
+sampler throughput, greedy selection, bit-packing, and a forward cascade.
+They guard against performance regressions in the host library itself.
+"""
+
+import numpy as np
+
+from repro.encoding.bitpack import pack
+from repro.imm import select_seeds
+from repro.rrr import sample_rrr_ic, sample_rrr_lt
+
+
+def test_sampler_ic_throughput(benchmark, config):
+    graph = config.graph("SE", "IC")
+    coll, _ = benchmark(sample_rrr_ic, graph, 20_000, rng=1)
+    assert coll.num_sets == 20_000
+
+
+def test_sampler_lt_throughput(benchmark, config):
+    graph = config.graph("SE", "LT")
+    coll, _ = benchmark(sample_rrr_lt, graph, 20_000, rng=1)
+    assert coll.num_sets == 20_000
+
+
+def test_seed_selection_throughput(benchmark, config):
+    graph = config.graph("SE", "IC")
+    coll, _ = sample_rrr_ic(graph, 50_000, rng=2)
+    result = benchmark(select_seeds, coll, 50)
+    assert result.seeds.size == 50
+
+
+def test_bitpack_throughput(benchmark):
+    values = np.random.default_rng(0).integers(0, 2**20, size=1_000_000)
+    packed = benchmark(pack, values)
+    assert packed.count == 1_000_000
+
+
+def test_bitunpack_throughput(benchmark):
+    values = np.random.default_rng(0).integers(0, 2**20, size=1_000_000)
+    packed = pack(values)
+    out = benchmark(packed.unpack)
+    assert out.size == 1_000_000
+
+
+def test_forward_cascade_throughput(benchmark, config):
+    from repro.diffusion import simulate_ic
+
+    graph = config.graph("CY", "IC")
+    rng = np.random.default_rng(3)
+    seeds = rng.choice(graph.n, size=50, replace=False)
+    active = benchmark(simulate_ic, graph, seeds, rng)
+    assert active.sum() >= 50

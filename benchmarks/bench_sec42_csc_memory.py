@@ -1,0 +1,18 @@
+"""§4.2 (text) — CSC memory saved by log encoding per dataset.
+
+Paper: up to 28.8% on small networks, still >14% on large ones, under
+conservative accounting (integer arrays packed, float weights raw).
+Scaled-down synthetics have narrower vertex ids, so absolute percentages
+run higher here; the declining-with-size trend is the reproduced shape.
+"""
+
+from repro.experiments import figures
+
+
+def test_sec42_csc_memory(benchmark, config, report_writer):
+    result = benchmark.pedantic(
+        figures.sec42_csc_memory, args=(config,), rounds=1, iterations=1
+    )
+    report_writer("sec42_csc_memory", result.render())
+    conservative = result.series[0]
+    assert all(y > 14.0 for y in conservative.y)  # paper's floor holds

@@ -1,0 +1,19 @@
+"""Table 1 — graph statistics of the 16 evaluation networks."""
+
+from repro.experiments import tables
+
+
+def test_table1_datasets(benchmark, config, report_writer):
+    result = benchmark.pedantic(
+        tables.table1_datasets, args=(config,), rounds=1, iterations=1
+    )
+    report_writer("table1_datasets", result.render())
+    assert len(result.rows) == len(config.datasets)
+
+
+def test_table1_calibration_metrics(benchmark, config, report_writer):
+    result = benchmark.pedantic(
+        tables.table1_calibration, args=(config,), rounds=1, iterations=1
+    )
+    report_writer("table1b_calibration", result.render())
+    assert len(result.rows) == len(config.datasets)

@@ -1,0 +1,22 @@
+"""Table 3 — eIM speedup over gIM under IC while decreasing eps (k=100).
+
+Paper shape: speedup grows as eps shrinks (more RRR sets -> eIM's
+advantages compound); the memory-hog datasets OOM for gIM at small eps.
+"""
+
+from repro.experiments import tables
+
+
+def test_table3_ic_eps_sweep(benchmark, config, report_writer):
+    result = benchmark.pedantic(
+        tables.table3_ic_eps_sweep, args=(config,), rounds=1, iterations=1
+    )
+    report_writer("table3_ic_eps_sweep", result.render())
+    import numpy as np
+
+    ratios = []
+    for code in config.datasets:
+        loose, tight = result.cells[(code, 0.5)], result.cells[(code, 0.05)]
+        if not (loose.gim.oom or tight.gim.oom):
+            ratios.append(tight.speedup_vs_gim / loose.speedup_vs_gim)
+    assert np.median(ratios) > 1.0

@@ -1,0 +1,18 @@
+"""Table 4 — eIM speedup over gIM under LT while increasing k (eps=0.05)."""
+
+from repro.experiments import tables
+
+
+def test_table4_lt_k_sweep(benchmark, config, report_writer):
+    result = benchmark.pedantic(
+        tables.table4_lt_k_sweep, args=(config,), rounds=1, iterations=1
+    )
+    report_writer("table4_lt_k_sweep", result.render())
+    # eIM wins the clear majority of non-OOM cells (paper: "most cases")
+    wins = total = 0
+    for comparison in result.cells.values():
+        if comparison.gim.oom or comparison.eim.oom:
+            continue
+        total += 1
+        wins += comparison.speedup_vs_gim > 1.0
+    assert wins > 0.6 * total

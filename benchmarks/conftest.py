@@ -1,0 +1,41 @@
+"""Shared benchmark plumbing.
+
+Every ``bench_*`` module regenerates one of the paper's tables or figures
+and measures it with pytest-benchmark.  The rendered paper-style rows are
+printed and also written to ``benchmarks/reports/<name>.txt`` so a full
+``pytest benchmarks/ --benchmark-only`` run leaves the complete set of
+regenerated artifacts on disk.
+
+Scale knobs come from :class:`repro.experiments.ExperimentConfig` and its
+``REPRO_*`` environment overrides; the defaults regenerate everything at
+tiny scale with the theta scaling recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+REPORTS_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    """The benchmark campaign configuration (env-overridable)."""
+    return ExperimentConfig.from_env()
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Writes a rendered table/figure to the reports directory and stdout."""
+    REPORTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, rendered: str) -> None:
+        path = REPORTS_DIR / f"{name}.txt"
+        path.write_text(rendered + "\n", encoding="utf-8")
+        print(f"\n{rendered}\n[written to {path}]")
+
+    return write

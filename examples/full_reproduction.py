@@ -1,0 +1,46 @@
+"""Miniature end-to-end reproduction: every experiment on four datasets.
+
+Runs the complete evaluation pipeline — Table 1, the memory studies,
+source-elimination figures, the engine speedup comparison and one sweep
+table — on a four-dataset subset so the whole thing finishes in a couple
+of minutes.  The full 16-dataset campaign is
+``pytest benchmarks/ --benchmark-only`` (reports in benchmarks/reports/).
+
+Usage::
+
+    python examples/full_reproduction.py
+"""
+
+import time
+
+from repro.experiments import ExperimentConfig, figures, tables
+
+STEPS = (
+    ("Table 1 (graph statistics)", tables.table1_datasets),
+    ("Table 1b (calibration metrics)", tables.table1_calibration),
+    ("Fig. 3 (scan-strategy scaling)", figures.fig3_scan_scaling),
+    ("§4.2 (CSC memory savings)", figures.sec42_csc_memory),
+    ("Fig. 4 (log-encoding memory)", figures.fig4_log_encoding_memory),
+    ("Fig. 5 (source-elim speedup)", figures.fig5_source_elim_speedup),
+    ("Fig. 6 (source-elim memory)", figures.fig6_source_elim_memory),
+    ("Fig. 7 (IC speedups)", figures.fig7_ic_speedups),
+    ("Table 2 (IC k sweep)", tables.table2_ic_k_sweep),
+)
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        datasets=("WV", "SE", "EE", "CA"),
+        sweep_theta_scale=0.15,
+    )
+    print(f"configuration: scale={config.scale}, datasets={config.datasets}, "
+          f"device={config.device().name}\n")
+    for title, driver in STEPS:
+        t0 = time.time()
+        result = driver(config)
+        print(result.render())
+        print(f"  [{title}: {time.time() - t0:.1f}s]\n")
+
+
+if __name__ == "__main__":
+    main()

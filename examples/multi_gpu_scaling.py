@@ -1,0 +1,45 @@
+"""Multi-GPU eIM scaling — the paper's future-work item, modeled.
+
+Runs one IMM workload, then stripes it over 1..16 simulated devices and
+prints the scaling curve: sampling parallelizes almost perfectly, but
+the per-greedy-iteration count reconciliation is a serial term that
+caps the speedup (classic Amdahl behaviour).
+
+Usage::
+
+    python examples/multi_gpu_scaling.py
+"""
+
+from repro import BoundsConfig, assign_ic_weights, load_dataset, run_imm
+from repro.gpu import RTX_A6000, run_multi_device_eim
+
+
+def main() -> None:
+    graph = assign_ic_weights(load_dataset("CY", scale="tiny", rng=0))
+    print(f"com-Youtube stand-in: {graph.n} vertices, {graph.m} edges")
+    spec = RTX_A6000.scaled(1000)
+    imm = run_imm(graph, k=50, epsilon=0.1, rng=1, eliminate_sources=True,
+                  bounds=BoundsConfig(theta_scale=0.5))
+    print(f"workload: theta = {imm.theta} RRR sets, "
+          f"{imm.collection.total_elements} stored elements\n")
+
+    print(f"{'devices':>8}  {'total cycles':>13}  {'sampling':>10}  "
+          f"{'selection':>10}  {'collectives':>11}  {'speedup':>8}  {'efficiency':>10}")
+    base = None
+    for devices in (1, 2, 4, 8, 16):
+        res = run_multi_device_eim(imm, graph, spec, devices)
+        if base is None:
+            base = res.total_cycles
+        speedup = base / res.total_cycles
+        print(f"{devices:>8}  {res.total_cycles:>13.3e}  {res.sampling_cycles:>10.3e}  "
+              f"{res.selection_cycles:>10.3e}  {res.collective_cycles:>11.3e}  "
+              f"{speedup:>8.2f}  {speedup / devices:>10.2f}")
+
+    print("\nSampling scales ~linearly (independent RRR sets); the count")
+    print("all-reduce per greedy iteration grows with device count and")
+    print("eventually dominates — the scalability ceiling a real multi-GPU")
+    print("eIM would have to engineer around.")
+
+
+if __name__ == "__main__":
+    main()

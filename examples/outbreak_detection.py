@@ -1,0 +1,62 @@
+"""Outbreak detection: place monitors to catch cascades early.
+
+The network-monitoring application the paper cites (§1, Leskovec et al.'s
+outbreak detection): a contagion starts at a random vertex and spreads;
+we pick k monitor vertices maximizing the probability that at least one
+monitor is reached.  That objective is exactly reverse-reachable
+coverage, so the RRR machinery solves it directly: a monitor set covering
+fraction F of RRR sets detects a random cascade with probability ~F.
+
+Usage::
+
+    python examples/outbreak_detection.py
+"""
+
+import numpy as np
+
+from repro import assign_ic_weights, load_dataset, sample_rrr_ic, select_seeds, simulate_ic
+
+
+def detection_rate(graph, monitors, trials, rng) -> float:
+    """Empirical fraction of random cascades that reach a monitor."""
+    monitors = set(np.asarray(monitors).tolist())
+    hits = 0
+    for _ in range(trials):
+        source = int(rng.integers(0, graph.n))
+        active = simulate_ic(graph, [source], rng)
+        if monitors & set(np.flatnonzero(active).tolist()):
+            hits += 1
+    return hits / trials
+
+
+def main() -> None:
+    graph = assign_ic_weights(load_dataset("EE", scale="tiny", rng=3))
+    print(f"email network stand-in: {graph.n} vertices, {graph.m} edges")
+
+    # detection is about *forward* reach: a cascade from random source s is
+    # caught iff a monitor lies in s's forward cascade.  Forward cascades
+    # of the original graph are exactly reverse cascades of the transpose,
+    # so we run the RRR sampler on graph.reverse() — each sampled set is
+    # "the vertices that would detect this random outbreak", and greedy
+    # max coverage places the monitors.
+    forward_view = graph.reverse()
+    collection, trace = sample_rrr_ic(forward_view, 40_000, rng=4)
+    print(f"sampled {collection.num_sets} reverse cascades "
+          f"({100 * trace.raw_singleton_fraction:.0f}% never spread past the source)\n")
+
+    rng = np.random.default_rng(5)
+    print(f"{'monitors k':>10}  {'predicted detection':>19}  {'measured detection':>18}  {'random placement':>16}")
+    for k in (1, 3, 5, 10, 20):
+        selection = select_seeds(collection, k)
+        predicted = selection.coverage_fraction
+        measured = detection_rate(graph, selection.seeds, 600, rng)
+        random_monitors = rng.choice(graph.n, size=k, replace=False)
+        baseline = detection_rate(graph, random_monitors, 600, rng)
+        print(f"{k:>10}  {predicted:>19.2%}  {measured:>18.2%}  {baseline:>16.2%}")
+
+    print("\nPredicted coverage (from RRR sets alone) tracks the measured")
+    print("detection rate — the estimator IMM's guarantees are built on.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""repro — reproduction of *eIM: GPU-Accelerated Efficient Influence
+Maximization in Large-Scale Social Networks* (SC Workshops '25).
+
+Quick start::
+
+    from repro import load_dataset, assign_ic_weights, run_imm
+
+    graph = assign_ic_weights(load_dataset("WV", scale="tiny", rng=0))
+    result = run_imm(graph, k=10, epsilon=0.2, model="IC", rng=0)
+    print(result.seeds, result.influence_estimate())
+
+Layers (see DESIGN.md for the full inventory):
+
+* :mod:`repro.graphs` — CSC graphs, generators, the 16-dataset registry;
+* :mod:`repro.encoding` — log encoding (bit-packing) of arrays/graphs;
+* :mod:`repro.diffusion` — forward IC/LT cascades, spread estimation;
+* :mod:`repro.rrr` — reverse-reachable set sampling and storage;
+* :mod:`repro.imm` — the IMM algorithm plus RIS and CELF baselines;
+* :mod:`repro.gpu` — the simulated SIMT device and cost models;
+* :mod:`repro.engines` — eIM, gIM, cuRipples on the simulated device;
+* :mod:`repro.experiments` — drivers for every paper table and figure.
+"""
+
+from repro.diffusion import estimate_spread, simulate_ic, simulate_lt
+from repro.encoding import PackedArray, encode_graph, pack, required_bits
+from repro.engines import CuRipplesEngine, EIMEngine, GIMEngine
+from repro.graphs import (
+    DATASETS,
+    DirectedGraph,
+    assign_ic_weights,
+    assign_lt_weights,
+    load_dataset,
+    load_edgelist,
+)
+from repro.imm import (
+    BoundsConfig,
+    InfluenceOracle,
+    run_celf_greedy,
+    run_imm,
+    run_ris,
+    run_tim,
+    select_seeds,
+)
+from repro.rrr import RRRCollection, sample_rrr_ic, sample_rrr_lt
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoundsConfig",
+    "CuRipplesEngine",
+    "DATASETS",
+    "DirectedGraph",
+    "EIMEngine",
+    "GIMEngine",
+    "InfluenceOracle",
+    "PackedArray",
+    "RRRCollection",
+    "__version__",
+    "assign_ic_weights",
+    "assign_lt_weights",
+    "encode_graph",
+    "estimate_spread",
+    "load_dataset",
+    "load_edgelist",
+    "pack",
+    "required_bits",
+    "run_celf_greedy",
+    "run_imm",
+    "run_ris",
+    "run_tim",
+    "sample_rrr_ic",
+    "sample_rrr_lt",
+    "select_seeds",
+    "simulate_ic",
+    "simulate_lt",
+]

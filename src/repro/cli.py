@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    List the 16-network registry with paper-scale statistics.
+``seeds``
+    Run IMM on a registry dataset or a SNAP edge list and print the seed
+    set with its influence estimates.
+``compare``
+    Run eIM/gIM/cuRipples on one dataset and print the comparison.
+``experiment``
+    Regenerate one of the paper's tables/figures by name.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import ExperimentConfig, figures, tables
+from repro.experiments.runner import compare_engines
+from repro.graphs import assign_ic_weights, assign_lt_weights, load_edgelist
+from repro.graphs.datasets import DATASETS, load_dataset
+from repro.imm import BoundsConfig, run_imm
+
+EXPERIMENTS = {
+    "table1": tables.table1_datasets,
+    "table1b": tables.table1_calibration,
+    "table2": tables.table2_ic_k_sweep,
+    "table3": tables.table3_ic_eps_sweep,
+    "table4": tables.table4_lt_k_sweep,
+    "table5": tables.table5_lt_eps_sweep,
+    "fig3": figures.fig3_scan_scaling,
+    "fig4": figures.fig4_log_encoding_memory,
+    "fig5": figures.fig5_source_elim_speedup,
+    "fig6": figures.fig6_source_elim_memory,
+    "fig7": figures.fig7_ic_speedups,
+    "fig8": figures.fig8_lt_speedups,
+    "sec42": figures.sec42_csc_memory,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="eIM reproduction: influence maximization via IMM "
+                    "with a simulated GPU substrate",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the evaluation-network registry")
+
+    seeds = sub.add_parser("seeds", help="run IMM and print the seed set")
+    src = seeds.add_mutually_exclusive_group(required=True)
+    src.add_argument("--dataset", choices=sorted(DATASETS), help="registry code")
+    src.add_argument("--edge-list", help="path to a SNAP-format edge list")
+    seeds.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"])
+    seeds.add_argument("--k", type=int, default=10)
+    seeds.add_argument("--epsilon", type=float, default=0.2)
+    seeds.add_argument("--model", default="IC", choices=["IC", "LT"])
+    seeds.add_argument("--seed", type=int, default=0, help="RNG seed")
+    seeds.add_argument("--theta-scale", type=float, default=1.0,
+                       help="scale the IMM sample-size bounds (1.0 = exact)")
+    seeds.add_argument("--no-source-elimination", action="store_true",
+                       help="disable the paper's §3.4 heuristic")
+    seeds.add_argument("--validate", type=int, metavar="SAMPLES", default=0,
+                       help="cross-check with this many forward Monte-Carlo cascades")
+
+    compare = sub.add_parser("compare", help="compare the three engines")
+    compare.add_argument("--dataset", required=True, choices=sorted(DATASETS))
+    compare.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"])
+    compare.add_argument("--k", type=int, default=50)
+    compare.add_argument("--epsilon", type=float, default=0.1)
+    compare.add_argument("--model", default="IC", choices=["IC", "LT"])
+    compare.add_argument("--seed", type=int, default=2025)
+    compare.add_argument("--theta-scale", type=float, default=0.5)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--datasets", help="comma-separated code subset")
+    experiment.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"])
+    return parser
+
+
+def _cmd_datasets(_args) -> int:
+    cfg = ExperimentConfig.from_env()
+    print(tables.table1_datasets(cfg).render())
+    return 0
+
+
+def _cmd_seeds(args) -> int:
+    if args.dataset:
+        graph = load_dataset(args.dataset, scale=args.scale, rng=args.seed)
+        label = f"{DATASETS[args.dataset].name} ({args.scale})"
+    else:
+        graph = load_edgelist(args.edge_list)
+        label = args.edge_list
+    assign = assign_ic_weights if args.model == "IC" else assign_lt_weights
+    graph = assign(graph)
+    print(f"{label}: {graph.n} vertices, {graph.m} edges")
+    result = run_imm(
+        graph, args.k, args.epsilon, model=args.model, rng=args.seed,
+        eliminate_sources=not args.no_source_elimination,
+        bounds=BoundsConfig(theta_scale=args.theta_scale),
+    )
+    print(f"theta = {result.theta} RRR sets; coverage = {result.coverage_fraction:.3f}")
+    print(f"seeds: {sorted(result.seeds.tolist())}")
+    print(f"influence estimate: {result.influence_estimate():.1f} "
+          f"({100 * result.influence_estimate() / graph.n:.1f}% of network)")
+    if args.validate:
+        from repro.diffusion import estimate_spread
+
+        spread = estimate_spread(graph, result.seeds, args.model,
+                                 args.validate, rng=args.seed + 1)
+        print(f"Monte-Carlo spread ({args.validate} cascades): {spread:.1f}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    cfg = ExperimentConfig.from_env(
+        scale=args.scale, seed=args.seed,
+        theta_scale=args.theta_scale, sweep_theta_scale=args.theta_scale,
+        datasets=(args.dataset,),
+    )
+    row = compare_engines(args.dataset, args.k, args.epsilon, args.model, cfg)
+    for result in (row.eim, row.gim, row.curipples):
+        status = "OOM" if result.oom else f"{result.total_cycles:.3e} cycles"
+        extra = "" if result.oom else (
+            f"  theta={result.theta}  rrr={result.rrr_store_bytes:,}B"
+            f"  peak={result.peak_device_bytes:,}B"
+        )
+        print(f"{result.engine:<10s} {status}{extra}")
+    if not (row.eim.oom or row.gim.oom):
+        print(f"\neIM speedup: {row.speedup_vs_gim:.2f}x over gIM, "
+              f"{row.speedup_vs_curipples:.2f}x over cuRipples")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    overrides = {"scale": args.scale}
+    if args.datasets:
+        overrides["datasets"] = tuple(
+            c.strip().upper() for c in args.datasets.split(",") if c.strip()
+        )
+    cfg = ExperimentConfig.from_env(**overrides)
+    print(EXPERIMENTS[args.name](cfg).render())
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datasets": _cmd_datasets,
+        "seeds": _cmd_seeds,
+        "compare": _cmd_compare,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

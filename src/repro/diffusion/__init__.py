@@ -1,0 +1,13 @@
+"""Forward diffusion simulators (IC and LT) and influence-spread estimation.
+
+These are the ground-truth processes that IMM's reverse sampling
+approximates; the library uses them to verify that every engine's seed set
+achieves the same expected influence (the paper's §4.1 quality claim) and
+to power the examples.
+"""
+
+from repro.diffusion.ic import simulate_ic
+from repro.diffusion.lt import simulate_lt
+from repro.diffusion.spread import estimate_spread, exact_spread_ic
+
+__all__ = ["estimate_spread", "exact_spread_ic", "simulate_ic", "simulate_lt"]

@@ -1,0 +1,41 @@
+"""Log encoding (bit-packing) of integer arrays, CSC graphs and RRR stores.
+
+Implements the paper's §3.1: strip the leading zero bits that a fixed
+32-bit representation wastes, concatenating ``n_bits``-wide fields into
+32/64-bit containers.  Packing is vectorized (whole-array) and a
+thread-safe single-element write mirrors what the CUDA kernels do with
+atomic OR when several warps append to the shared RRR store.
+"""
+
+from repro.encoding.bitmap import BitmapEncoded, bitmap_encode
+from repro.encoding.bitpack import PackedArray, pack, required_bits, unpack_words
+from repro.encoding.csc_encoded import EncodedGraph, encode_graph
+from repro.encoding.fixedpoint import pack_fixed_point, unpack_fixed_point
+from repro.encoding.huffman import (
+    HuffmanCode,
+    HuffmanEncoded,
+    build_code,
+    huffman_decode,
+    huffman_encode,
+)
+from repro.encoding.memory import MemoryReport, memory_report
+
+__all__ = [
+    "BitmapEncoded",
+    "EncodedGraph",
+    "HuffmanCode",
+    "HuffmanEncoded",
+    "MemoryReport",
+    "PackedArray",
+    "bitmap_encode",
+    "build_code",
+    "encode_graph",
+    "huffman_decode",
+    "huffman_encode",
+    "memory_report",
+    "pack",
+    "pack_fixed_point",
+    "required_bits",
+    "unpack_fixed_point",
+    "unpack_words",
+]

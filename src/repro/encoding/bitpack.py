@@ -1,0 +1,225 @@
+"""Vectorized log encoding (bit-packing) of non-negative integer arrays.
+
+Figure 1 of the paper: an array whose maximum element is ``x_max`` needs
+only ``n_bits = bit_length(x_max)`` bits per element; fields are
+concatenated back-to-back into fixed-width containers, so a field may span
+a container boundary.  (The paper states ``ceil(log2(x_max))``, which
+under-counts by one exactly at powers of two — e.g. 8 needs 4 bits, not 3;
+we use ``bit_length`` which equals the paper's formula everywhere else.)
+
+Packing and unpacking are whole-array NumPy operations: the pack scatter
+uses ``np.bitwise_or.at`` (an unbuffered ufunc, so multiple fields landing
+in the same container accumulate correctly — the vectorized analogue of
+the CUDA kernels' ``atomicOr``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+from repro.utils.validation import require
+
+
+def required_bits(max_value: int) -> int:
+    """Bits needed to represent every value in ``[0, max_value]``.
+
+    ``required_bits(123) == 7`` as in the paper's Fig. 1 example; at least
+    1 even for an all-zero array.
+    """
+    max_value = int(max_value)
+    if max_value < 0:
+        raise ValidationError(f"cannot pack negative values (max_value={max_value})")
+    return max(1, max_value.bit_length())
+
+
+class PackedArray:
+    """An immutable-by-default bit-packed view of a non-negative int array.
+
+    Attributes
+    ----------
+    words:
+        The container array (uint32 or uint64), padded with one extra
+        container so spanning reads never index out of bounds.
+    n_bits:
+        Field width in bits.
+    count:
+        Number of logical elements.
+    """
+
+    __slots__ = ("words", "n_bits", "count", "container_bits")
+
+    def __init__(self, words: np.ndarray, n_bits: int, count: int, container_bits: int):
+        self.words = words
+        self.n_bits = int(n_bits)
+        self.count = int(count)
+        self.container_bits = int(container_bits)
+
+    # -- memory accounting -------------------------------------------------
+    @property
+    def nbytes_packed(self) -> int:
+        """Bytes of the packed payload (excluding the guard container)."""
+        cb = self.container_bits
+        used_words = -(-self.count * self.n_bits // cb)  # ceil division
+        return used_words * (cb // 8)
+
+    @property
+    def nbytes_raw(self) -> int:
+        """Bytes the same data occupies unpacked as 32-bit integers."""
+        return 4 * self.count
+
+    @property
+    def savings_fraction(self) -> float:
+        """Fraction of raw bytes saved by packing (0 when count == 0)."""
+        raw = self.nbytes_raw
+        return 0.0 if raw == 0 else 1.0 - self.nbytes_packed / raw
+
+    # -- element access -----------------------------------------------------
+    def __len__(self) -> int:
+        return self.count
+
+    def unpack(self) -> np.ndarray:
+        """Decode the whole array back to int64 (fast gather, §3.1)."""
+        return unpack_words(
+            self.words, self.n_bits, self.count, self.container_bits
+        )
+
+    def gather(self, idx: np.ndarray) -> np.ndarray:
+        """Decode only the elements at positions ``idx`` (random access)."""
+        idx = np.asarray(idx, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.count):
+            raise ValidationError("gather index out of range")
+        return _decode_at(self.words, self.n_bits, idx, self.container_bits)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            idx = np.arange(*i.indices(self.count), dtype=np.int64)
+            return self.gather(idx)
+        i = int(i)
+        if i < 0:
+            i += self.count
+        if not 0 <= i < self.count:
+            raise IndexError(f"index {i} out of range for PackedArray of {self.count}")
+        return int(self.gather(np.asarray([i]))[0])
+
+    def set_element(self, i: int, value: int) -> None:
+        """Thread-safe-style single-field write.
+
+        Clears then ORs the field's bits in its one or two containers —
+        the read-modify-write a CUDA thread performs with ``atomicAnd`` /
+        ``atomicOr`` when updating a packed store concurrently (fields
+        never overlap, so concurrent writers touch disjoint bits except in
+        a shared boundary container, where atomics make the update safe).
+        """
+        i = int(i)
+        if not 0 <= i < self.count:
+            raise IndexError(f"index {i} out of range")
+        value = int(value)
+        if value < 0 or value.bit_length() > self.n_bits:
+            raise ValidationError(
+                f"value {value} does not fit in {self.n_bits} bits"
+            )
+        cb = self.container_bits
+        bitpos = i * self.n_bits
+        word, off = divmod(bitpos, cb)
+        container_mask = (1 << cb) - 1
+        field_mask = ((1 << self.n_bits) - 1) << off
+        w0 = int(self.words[word])
+        w0 = (w0 & ~(field_mask & container_mask)) | ((value << off) & container_mask)
+        self.words[word] = w0
+        spill_bits = off + self.n_bits - cb
+        if spill_bits > 0:
+            hi_mask = (1 << spill_bits) - 1
+            w1 = int(self.words[word + 1])
+            w1 = (w1 & ~hi_mask) | (value >> (self.n_bits - spill_bits))
+            self.words[word + 1] = w1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PackedArray(count={self.count}, n_bits={self.n_bits}, "
+            f"container={self.container_bits}, packed={self.nbytes_packed}B)"
+        )
+
+
+def pack(values, n_bits: int | None = None, container_bits: int = 32) -> PackedArray:
+    """Bit-pack ``values`` into a :class:`PackedArray`.
+
+    Parameters
+    ----------
+    values:
+        1-D array-like of non-negative integers.
+    n_bits:
+        Field width; defaults to ``required_bits(values.max())``.
+    container_bits:
+        32 (paper's choice, Fig. 1) or 64.
+    """
+    if container_bits not in (32, 64):
+        raise ValidationError("container_bits must be 32 or 64")
+    vals = np.asarray(values, dtype=np.int64).ravel()
+    if vals.size and vals.min() < 0:
+        raise ValidationError("cannot pack negative values")
+    max_val = int(vals.max()) if vals.size else 0
+    if n_bits is None:
+        n_bits = required_bits(max_val)
+    n_bits = int(n_bits)
+    require(1 <= n_bits <= container_bits, "n_bits must be in [1, container_bits]")
+    if max_val.bit_length() > n_bits:
+        raise ValidationError(
+            f"max value {max_val} needs {max_val.bit_length()} bits, got n_bits={n_bits}"
+        )
+    cb = container_bits
+    dtype = np.uint32 if cb == 32 else np.uint64
+    n_words = int(-(-vals.size * n_bits // cb)) + 1  # +1 guard container
+    words = np.zeros(n_words, dtype=dtype)
+    if vals.size == 0:
+        return PackedArray(words, n_bits, 0, cb)
+
+    positions = np.arange(vals.size, dtype=np.int64) * n_bits
+    word_idx = positions // cb
+    off = (positions % cb).astype(np.uint64)
+    v = vals.astype(np.uint64)
+    if cb == 32:
+        shifted = v << off  # off <= 31, n_bits <= 32: fits in 64 bits
+        lo = (shifted & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+        hi = (shifted >> np.uint64(32)).astype(np.uint32)
+        np.bitwise_or.at(words, word_idx, lo)
+        np.bitwise_or.at(words, word_idx + 1, hi)
+    else:
+        # 64-bit containers: guard shifts so they stay in [0, 63]
+        sh = np.where(off == 0, np.uint64(63), np.uint64(cb) - off)
+        low_mask = np.where(
+            off == 0, np.uint64(0xFFFFFFFFFFFFFFFF), (np.uint64(1) << sh) - np.uint64(1)
+        )
+        lo = (v & low_mask) << off
+        hi = np.where(off == 0, np.uint64(0), v >> sh)
+        np.bitwise_or.at(words, word_idx, lo)
+        np.bitwise_or.at(words, word_idx + 1, hi)
+    return PackedArray(words, n_bits, vals.size, cb)
+
+
+def _decode_at(
+    words: np.ndarray, n_bits: int, idx: np.ndarray, container_bits: int
+) -> np.ndarray:
+    """Decode the fields at logical positions ``idx`` (vectorized gather)."""
+    cb = container_bits
+    positions = idx * n_bits
+    word_idx = positions // cb
+    off = (positions % cb).astype(np.uint64)
+    mask = (np.uint64(1) << np.uint64(n_bits)) - np.uint64(1) if n_bits < 64 else np.uint64(0xFFFFFFFFFFFFFFFF)
+    if cb == 32:
+        w = words.astype(np.uint64, copy=False)
+        window = w[word_idx] | (w[word_idx + 1] << np.uint64(32))
+        return ((window >> off) & mask).astype(np.int64)
+    lo = words[word_idx] >> off
+    sh = np.where(off == 0, np.uint64(1), np.uint64(cb) - off)
+    hi = np.where(off == 0, np.uint64(0), words[word_idx + 1] << sh)
+    return ((lo | hi) & mask).astype(np.int64)
+
+
+def unpack_words(
+    words: np.ndarray, n_bits: int, count: int, container_bits: int = 32
+) -> np.ndarray:
+    """Decode ``count`` fields from a packed container array to int64."""
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    return _decode_at(words, n_bits, np.arange(count, dtype=np.int64), container_bits)

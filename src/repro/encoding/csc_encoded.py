@@ -1,0 +1,155 @@
+"""Log-encoded CSC graph: the paper's compressed network representation.
+
+The three CSC arrays are packed independently (each has its own
+``x_max``): offsets need ``bit_length(m)`` bits, in-neighbor ids
+``bit_length(n-1)`` bits.  For the degree-based weight schemes used in the
+paper (IC weighted cascade and LT uniform, both ``1/d_v^-``) the weight
+array is *implicit* — recoverable from consecutive offsets — so encoding
+drops it entirely; general weights fall back to 16-bit fixed point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.encoding.bitpack import PackedArray, pack, required_bits
+from repro.encoding.fixedpoint import pack_fixed_point, unpack_fixed_point
+from repro.encoding.memory import MemoryReport
+from repro.graphs.csc import DirectedGraph
+
+
+def _weights_are_indegree(graph: DirectedGraph) -> bool:
+    """True when every in-edge of v carries exactly 1/d_v^-."""
+    if graph.weights is None:
+        return False
+    deg = graph.in_degrees()
+    expected = np.repeat(
+        1.0 / np.maximum(deg, 1), deg
+    )
+    return bool(np.allclose(graph.weights, expected, rtol=0.0, atol=1e-12))
+
+
+class EncodedGraph:
+    """A :class:`DirectedGraph` with log-encoded CSC arrays.
+
+    Random-access segment decode (:meth:`in_neighbors`) mirrors what the
+    device kernels do: two offset fields are unpacked to bound the
+    segment, then the neighbor fields are gathered and decoded.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        m: int,
+        offsets: PackedArray,
+        neighbors: PackedArray,
+        weights: Optional[PackedArray],
+        implicit_indegree_weights: bool,
+    ):
+        self.n = int(n)
+        self.m = int(m)
+        self.offsets = offsets
+        self.neighbors = neighbors
+        self.weights = weights
+        self.implicit_indegree_weights = bool(implicit_indegree_weights)
+        #: uncompressed float-weight bytes carried alongside the packed
+        #: arrays when ``weight_mode="raw32"``
+        self.raw_weight_bytes = 0
+        #: the raw float weights themselves in that mode (device-resident
+        #: uncompressed array)
+        self.raw_weights: Optional[np.ndarray] = None
+
+    # -- decoding ----------------------------------------------------------
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """Decode the in-neighbor ids of vertex ``v``."""
+        start, end = self.offsets.gather(np.asarray([v, v + 1]))
+        if end <= start:
+            return np.empty(0, dtype=np.int64)
+        return self.neighbors.gather(np.arange(start, end))
+
+    def decode(self) -> DirectedGraph:
+        """Fully decode back to a raw :class:`DirectedGraph`."""
+        indptr = self.offsets.unpack()
+        indices = self.neighbors.unpack().astype(np.int32)
+        if self.implicit_indegree_weights:
+            deg = np.diff(indptr)
+            w = np.repeat(1.0 / np.maximum(deg, 1), deg)
+        elif self.weights is not None:
+            w = unpack_fixed_point(self.weights)
+        elif self.raw_weights is not None:
+            w = self.raw_weights
+        else:
+            w = None
+        return DirectedGraph(indptr, indices, w)
+
+    # -- memory accounting ---------------------------------------------------
+    def nbytes_packed(self) -> int:
+        """Device bytes of the encoded representation."""
+        total = self.offsets.nbytes_packed + self.neighbors.nbytes_packed
+        if self.weights is not None:
+            total += self.weights.nbytes_packed
+        return total + self.raw_weight_bytes
+
+    def memory_report(self, raw_graph: DirectedGraph) -> MemoryReport:
+        """Raw-CSC vs encoded byte comparison for §4.2."""
+        return MemoryReport(
+            "network", raw_graph.nbytes_csc(include_weights=True), self.nbytes_packed()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EncodedGraph(n={self.n}, m={self.m}, "
+            f"offset_bits={self.offsets.n_bits}, neighbor_bits={self.neighbors.n_bits}, "
+            f"packed={self.nbytes_packed()}B)"
+        )
+
+
+def encode_graph(
+    graph: DirectedGraph,
+    container_bits: int = 32,
+    weight_bits: int = 16,
+    weight_mode: str = "auto",
+) -> EncodedGraph:
+    """Log-encode a weighted or unweighted CSC graph.
+
+    ``weight_mode`` controls the float weight array:
+
+    * ``auto`` — degree-scheme weights (``1/d_v^-``) are detected and
+      dropped entirely (recoverable from offsets); anything else is
+      quantized to ``weight_bits`` fixed point.
+    * ``fixedpoint`` — always quantize and pack.
+    * ``raw32`` — keep weights as uncompressed 32-bit floats, the
+      conservative accounting the paper's §4.2 numbers correspond to
+      (only the integer arrays compress).
+    """
+    if weight_mode not in ("auto", "fixedpoint", "raw32"):
+        raise ValueError(f"unknown weight_mode {weight_mode!r}")
+    offsets = pack(
+        graph.indptr,
+        n_bits=required_bits(graph.m),
+        container_bits=container_bits,
+    )
+    neighbors = pack(
+        graph.indices,
+        n_bits=required_bits(max(graph.n - 1, 0)),
+        container_bits=container_bits,
+    )
+    implicit = False
+    weights = None
+    raw_weight_bytes = 0
+    if graph.weights is not None:
+        if weight_mode == "auto" and _weights_are_indegree(graph):
+            implicit = True
+        elif weight_mode == "raw32":
+            raw_weight_bytes = 4 * graph.m
+        else:
+            weights = pack_fixed_point(
+                graph.weights, bits=weight_bits, container_bits=container_bits
+            )
+    encoded = EncodedGraph(graph.n, graph.m, offsets, neighbors, weights, implicit)
+    encoded.raw_weight_bytes = raw_weight_bytes
+    if raw_weight_bytes:
+        encoded.raw_weights = graph.weights
+    return encoded

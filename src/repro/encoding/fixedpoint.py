@@ -1,0 +1,37 @@
+"""Fixed-point quantization so float edge weights can be log-encoded.
+
+The CSC weight array is float-valued; to pack it alongside the integer
+arrays the weights are quantized to ``bits``-bit fixed point on [0, 1].
+Under the paper's degree-based scheme (``p_uv = 1/d_v^-``) the weights are
+exactly recoverable from the offsets array instead and need not be stored
+at all — :class:`repro.encoding.csc_encoded.EncodedGraph` exploits that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoding.bitpack import PackedArray, pack
+from repro.utils.errors import ValidationError
+
+
+def pack_fixed_point(values, bits: int = 16, container_bits: int = 32) -> PackedArray:
+    """Quantize floats on [0, 1] to ``bits``-bit fixed point and bit-pack.
+
+    The maximum quantization error is ``2**-(bits+1)`` per weight, far
+    below the Monte-Carlo noise floor of influence estimation.
+    """
+    vals = np.asarray(values, dtype=np.float64).ravel()
+    if vals.size and (vals.min() < 0.0 or vals.max() > 1.0):
+        raise ValidationError("fixed-point packing expects values in [0, 1]")
+    if not 1 <= bits <= 32:
+        raise ValidationError(f"bits must be in [1, 32], got {bits}")
+    scale = (1 << bits) - 1
+    quantized = np.rint(vals * scale).astype(np.int64)
+    return pack(quantized, n_bits=bits, container_bits=container_bits)
+
+
+def unpack_fixed_point(packed: PackedArray) -> np.ndarray:
+    """Invert :func:`pack_fixed_point` back to float64 on [0, 1]."""
+    scale = (1 << packed.n_bits) - 1
+    return packed.unpack().astype(np.float64) / scale

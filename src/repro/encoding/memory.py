@@ -1,0 +1,39 @@
+"""Byte accounting for raw-vs-packed storage (Fig. 4 and §4.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Raw and packed byte totals for one storage component."""
+
+    label: str
+    raw_bytes: int
+    packed_bytes: int
+
+    @property
+    def saved_bytes(self) -> int:
+        return self.raw_bytes - self.packed_bytes
+
+    @property
+    def percent_saved(self) -> float:
+        """Percent of raw bytes eliminated by log encoding."""
+        if self.raw_bytes == 0:
+            return 0.0
+        return 100.0 * self.saved_bytes / self.raw_bytes
+
+    def __add__(self, other: "MemoryReport") -> "MemoryReport":
+        return MemoryReport(
+            label=f"{self.label}+{other.label}",
+            raw_bytes=self.raw_bytes + other.raw_bytes,
+            packed_bytes=self.packed_bytes + other.packed_bytes,
+        )
+
+
+def memory_report(label: str, raw_bytes: int, packed_bytes: int) -> MemoryReport:
+    """Convenience constructor validating the byte totals."""
+    if raw_bytes < 0 or packed_bytes < 0:
+        raise ValueError("byte counts must be non-negative")
+    return MemoryReport(label, int(raw_bytes), int(packed_bytes))

@@ -1,0 +1,40 @@
+"""The three GPU influence-maximization engines the paper compares.
+
+All engines share one algorithmic core (:func:`repro.imm.run_imm`), so
+their seed quality is identical by construction — the paper's §4.1
+observation.  What differs is the *device behaviour* layered on top:
+
+========== =========================================================
+Engine      Design (paper section)
+========== =========================================================
+eIM         log-encoded graph + RRR store, global-memory BFS queues,
+            source elimination, thread-based selection scan (§3)
+gIM         raw storage, shared-memory queues with dynamic global
+            spill, double-copy stores, warp-based scan (§2.3)
+cuRipples   raw storage, RRR sets offloaded to host memory, selection
+            split between GPU (until full) and CPU (§2.3)
+========== =========================================================
+"""
+
+from repro.engines.base import Engine, EngineResult
+from repro.engines.curipples import CuRipplesEngine
+from repro.engines.eim import EIMEngine
+from repro.engines.gim import GIMEngine
+from repro.engines.ripples_cpu import RipplesCPUEngine
+
+ENGINES = {
+    "eim": EIMEngine,
+    "gim": GIMEngine,
+    "curipples": CuRipplesEngine,
+    "ripples_cpu": RipplesCPUEngine,
+}
+
+__all__ = [
+    "CuRipplesEngine",
+    "EIMEngine",
+    "ENGINES",
+    "Engine",
+    "EngineResult",
+    "GIMEngine",
+    "RipplesCPUEngine",
+]

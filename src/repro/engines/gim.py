@@ -1,0 +1,98 @@
+"""The gIM engine (Shahrouz et al. 2021) as characterized in §2.3.
+
+Single-GPU, edge-level parallel BFS with the warp's queue in *shared*
+memory: fast while a set fits, but overflowing the block's shared
+capacity triggers device-side dynamic allocations and global spills, and
+every finished set is written to a dynamically-allocated temporary
+buffer before being copied into the final store (two copies).  RRR data
+is stored raw (32-bit), and the selection phase scans sets warp-per-set.
+
+The memory model charges, on top of the raw R/O/C arrays, the per-block
+temporaries plus heap fragmentation from the repeated ``malloc``s — the
+mechanism by which gIM "can eventually exhaust the GPU's memory" and the
+source of the paper's OOM entries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engines.base import Engine
+from repro.gpu.cost_model import CostModel
+from repro.gpu.device import SimulatedDevice
+from repro.gpu.scheduler import makespan
+from repro.graphs.csc import DirectedGraph
+from repro.imm.imm import IMMResult
+
+#: Fraction of every dynamically-allocated spill chunk lost to heap
+#: fragmentation in the device allocator.
+FRAGMENTATION_FACTOR = 0.5
+
+
+class GIMEngine(Engine):
+    """gIM: shared-memory queues, raw storage, warp-based selection."""
+
+    name = "gim"
+    eliminate_sources = False
+
+    def __init__(self, shared_queue_fraction: float = 0.5):
+        #: fraction of the block's shared memory given to the BFS queue
+        #: (the rest holds the visited bitmap and block state)
+        self.shared_queue_fraction = float(shared_queue_fraction)
+
+    def _shared_capacity_elems(self, device: SimulatedDevice) -> int:
+        return max(
+            64, int(device.spec.shared_mem_per_block * self.shared_queue_fraction) // 4
+        )
+
+    def _load_graph(self, device: SimulatedDevice, cost: CostModel, graph: DirectedGraph) -> None:
+        nbytes = graph.nbytes_csc()
+        device.memory.allocate(nbytes, "graph")
+        device.charge("graph_upload", device.spec.transfer_cycles(nbytes))
+
+    def _charge_sampling(
+        self, device: SimulatedDevice, cost: CostModel, graph: DirectedGraph, imm: IMMResult
+    ) -> None:
+        trace = imm.trace
+        capacity = self._shared_capacity_elems(device)
+        if imm.model == "IC":
+            expand = cost.ic_expansion_cycles(trace.edges_examined, encoded=False)
+        else:
+            # gIM's LT kernel accumulates weights with shared atomics —
+            # the serialized variant §3.3 measures and rejects
+            expand = cost.lt_expansion_cycles(
+                trace.edges_examined, trace.rounds, encoded=False, use_prefix_scan=False
+            )
+        queue, spills = cost.queue_ops_cycles(
+            trace.sizes, queue="shared", shared_capacity_elems=capacity
+        )
+        store = cost.store_cycles(trace.sizes, encoded=False, element_bits=32, copies=2)
+        # sets that fit the shared queue reuse the block's cached temporary
+        # buffer; overflowing sets need a fresh device allocation for their
+        # temporary RRR copy, on top of one allocation per spill chunk
+        needs_temp_alloc = (trace.sizes > capacity).astype(np.float64)
+        mallocs = (needs_temp_alloc + spills) * device.spec.malloc_cycles
+        per_set = expand + queue + store + mallocs + cost.per_set_fixed_cycles(trace.attempted)
+        device.charge("sampling", makespan(per_set, device.spec.resident_blocks))
+        device.charge("kernel_launches", device.spec.kernel_launch_cycles * max(len(imm.phases), 1))
+
+        collection = imm.collection
+        device.memory.allocate(collection.nbytes_raw(), "rrr_store")
+        # per-block temporary buffers sized to the largest set seen
+        max_size = int(trace.sizes.max()) if trace.sizes.size else 1
+        temp = device.spec.resident_blocks * max(max_size, 64) * 4
+        device.memory.allocate(temp, "temp_buffers")
+        capacity_bytes = capacity * 4
+        frag = int(float(spills.sum()) * capacity_bytes * FRAGMENTATION_FACTOR)
+        if frag:
+            device.memory.allocate(frag, "heap_fragmentation")
+
+    def _charge_selection(
+        self, device: SimulatedDevice, cost: CostModel, graph: DirectedGraph, imm: IMMResult
+    ) -> None:
+        stats = imm.selection.stats
+        device.charge("selection_scan", cost.warp_scan_cycles(stats, encoded=False))
+        device.charge("selection_argmax", cost.argmax_cycles(graph.n, imm.k))
+
+    def _rrr_store_bytes(self, imm: IMMResult) -> int:
+        return imm.collection.nbytes_raw()

@@ -1,0 +1,22 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Each ``figures.fig*`` / ``tables.table*`` function returns a structured
+result object with a ``render()`` method producing the paper-shaped rows;
+the ``benchmarks/`` tree wires them into pytest-benchmark.  Scale,
+dataset subset, repetition count and the theta scaling used on the
+scaled-down synthetic networks all live in :class:`ExperimentConfig`
+(overridable via ``REPRO_*`` environment variables, see config module).
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ComparisonRow, average_results, compare_engines
+from repro.experiments import figures, tables
+
+__all__ = [
+    "ComparisonRow",
+    "ExperimentConfig",
+    "average_results",
+    "compare_engines",
+    "figures",
+    "tables",
+]

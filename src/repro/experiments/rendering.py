@@ -1,0 +1,68 @@
+"""Plain-text rendering of paper-style tables and figure series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Fixed-width aligned table (first column left-aligned)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+
+    def fmt_row(cells) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            text = str(cell)
+            parts.append(text.ljust(widths[i]) if i == 0 else text.rjust(widths[i]))
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+@dataclass
+class Series:
+    """One labeled data series of a figure."""
+
+    name: str
+    x: list = field(default_factory=list)
+    y: list = field(default_factory=list)
+
+    def add(self, x, y) -> None:
+        self.x.append(x)
+        self.y.append(y)
+
+
+def format_series(
+    series_list: list[Series], title: str, xlabel: str, ylabel: str
+) -> str:
+    """Render figure series as aligned columns, one x per row."""
+    lines = [title, f"  x = {xlabel}; y = {ylabel}"]
+    headers = [xlabel] + [s.name for s in series_list]
+    xs = series_list[0].x if series_list else []
+    rows = []
+    for i, x in enumerate(xs):
+        row = [_fmt(x)]
+        for s in series_list:
+            row.append(_fmt(s.y[i]) if i < len(s.y) else "")
+        rows.append(row)
+    lines.append(format_table(headers, rows))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "OOM"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0.0):
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,138 @@
+"""Engine comparison plumbing shared by all table/figure drivers.
+
+One vanilla IMM run (no source elimination) is shared between gIM and
+cuRipples — their sampling semantics are identical, so duplicating it
+would only add noise — while eIM runs its own (source elimination changes
+theta).  Repeats re-run everything with fresh derived seeds and average
+the modeled cycle counts, mirroring the paper's 10-run averaging.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.engines import CuRipplesEngine, EIMEngine, GIMEngine
+from repro.engines.base import EngineResult
+from repro.experiments.config import ExperimentConfig
+from repro.gpu.device import DeviceSpec
+from repro.imm.bounds import BoundsConfig
+from repro.imm.imm import run_imm
+from repro.utils.rng import spawn_generators
+
+
+def average_results(results: list[EngineResult]) -> EngineResult:
+    """Average modeled cycles over repeats; OOM in any repeat marks the cell.
+
+    Non-additive fields (seeds, breakdowns, the IMM handle) are taken
+    from the first repeat.
+    """
+    first = results[0]
+    if any(r.oom for r in results):
+        ref = next(r for r in results if r.oom)
+        return ref
+    cycles = float(np.mean([r.total_cycles for r in results]))
+    seconds = float(np.mean([r.seconds for r in results]))
+    return EngineResult(
+        engine=first.engine,
+        model=first.model,
+        k=first.k,
+        epsilon=first.epsilon,
+        seeds=first.seeds,
+        oom=False,
+        oom_detail="",
+        total_cycles=cycles,
+        seconds=seconds,
+        peak_device_bytes=int(np.mean([r.peak_device_bytes for r in results])),
+        rrr_store_bytes=int(np.mean([r.rrr_store_bytes for r in results])),
+        theta=int(np.mean([r.theta for r in results])),
+        coverage=float(np.mean([r.coverage for r in results])),
+        breakdown=first.breakdown,
+        imm=first.imm,
+    )
+
+
+@dataclass
+class ComparisonRow:
+    """All engines' (averaged) results on one workload cell."""
+
+    dataset: str
+    model: str
+    k: int
+    epsilon: float
+    eim: EngineResult
+    gim: EngineResult
+    curipples: Optional[EngineResult] = None
+
+    @property
+    def speedup_vs_gim(self) -> float:
+        return self.eim.speedup_over(self.gim)
+
+    @property
+    def speedup_vs_curipples(self) -> float:
+        if self.curipples is None:
+            return float("nan")
+        return self.eim.speedup_over(self.curipples)
+
+    def table_cell_vs_gim(self) -> str:
+        """Paper-style cell: speedup, or ``OOM/<eIM seconds>`` when gIM
+        ran out of memory (Tables 2-5 footnote convention)."""
+        if self.gim.oom and not self.eim.oom:
+            return f"OOM/{self.eim.seconds:.2g}"
+        if self.eim.oom:
+            return "OOM(eIM)"
+        return f"{self.speedup_vs_gim:.2f}"
+
+
+def compare_engines(
+    code: str,
+    k: int,
+    epsilon: float,
+    model: str,
+    config: ExperimentConfig,
+    include_curipples: bool = True,
+    device: Optional[DeviceSpec] = None,
+    bounds: Optional[BoundsConfig] = None,
+) -> ComparisonRow:
+    """Run eIM, gIM (and optionally cuRipples) on one workload cell."""
+    graph = config.graph(code, model)
+    device = device or config.device()
+    bounds = bounds or config.bounds()
+    k_eff = min(k, graph.n)
+
+    eim_engine = EIMEngine()
+    gim_engine = GIMEngine()
+    cur_engine = CuRipplesEngine() if include_curipples else None
+
+    eim_runs, gim_runs, cur_runs = [], [], []
+    streams = spawn_generators(config.seed * 1_000_003 + k_eff * 13 + int(epsilon * 1e6),
+                               config.repeats * 2)
+    for rep in range(config.repeats):
+        rng_eim, rng_vanilla = streams[2 * rep], streams[2 * rep + 1]
+        eim_runs.append(
+            eim_engine.run(graph, k_eff, epsilon, model, rng=rng_eim,
+                           bounds=bounds, device_spec=device)
+        )
+        vanilla = run_imm(graph, k_eff, epsilon, model=model, rng=rng_vanilla,
+                          eliminate_sources=False, bounds=bounds)
+        gim_runs.append(
+            gim_engine.run(graph, k_eff, epsilon, model, bounds=bounds,
+                           device_spec=device, imm_result=vanilla)
+        )
+        if cur_engine is not None:
+            cur_runs.append(
+                cur_engine.run(graph, k_eff, epsilon, model, bounds=bounds,
+                               device_spec=device, imm_result=vanilla)
+            )
+    return ComparisonRow(
+        dataset=code,
+        model=model.upper(),
+        k=k_eff,
+        epsilon=epsilon,
+        eim=average_results(eim_runs),
+        gim=average_results(gim_runs),
+        curipples=average_results(cur_runs) if cur_runs else None,
+    )

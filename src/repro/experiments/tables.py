@@ -1,0 +1,161 @@
+"""Drivers regenerating the paper's tables (1 through 5).
+
+Tables 2-5 sweep k / epsilon per dataset and print eIM-over-gIM speedup
+cells, with the paper's ``OOM/<eIM seconds>`` convention where gIM runs
+out of device memory; they run against the capacity-pressure device (see
+``ExperimentConfig.pressure_memory_divisor``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.rendering import format_table
+from repro.experiments.runner import ComparisonRow, compare_engines
+from repro.graphs.datasets import get_dataset
+
+K_SWEEP = (20, 40, 60, 80, 100)
+EPS_SWEEP = (0.5, 0.45, 0.4, 0.35, 0.3, 0.25, 0.2, 0.15, 0.1, 0.05)
+
+
+@dataclass
+class TableResult:
+    """Structured table data plus its text rendering."""
+
+    table: str
+    title: str
+    headers: list[str]
+    rows: list[list[str]]
+    cells: dict  # (dataset, sweep_value) -> ComparisonRow, for tests
+    notes: str = ""
+
+    def render(self) -> str:
+        text = format_table(self.headers, self.rows, f"[{self.table}] {self.title}")
+        if self.notes:
+            text += f"\n  note: {self.notes}"
+        return text
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — graph statistics
+# ---------------------------------------------------------------------------
+def table1_datasets(config: ExperimentConfig | None = None) -> TableResult:
+    """Paper-scale and generated-instance statistics for all datasets."""
+    config = config or ExperimentConfig.from_env()
+    headers = ["Code", "Dataset", "paper |V|", "paper |E|", f"{config.scale} |V|", f"{config.scale} |E|", "avg deg"]
+    rows = []
+    for code in config.datasets:
+        spec = get_dataset(code)
+        graph = config.graph(code, "IC")
+        rows.append([
+            spec.code,
+            spec.name,
+            f"{spec.paper_vertices:,}",
+            f"{spec.paper_edges:,}",
+            f"{graph.n:,}",
+            f"{graph.m:,}",
+            f"{graph.m / graph.n:.2f}",
+        ])
+    return TableResult(
+        table="Table 1",
+        title="Graph statistics (synthetic stand-ins for the SNAP datasets)",
+        headers=headers,
+        rows=rows,
+        cells={},
+        notes="generated instances preserve the paper-scale average degree",
+    )
+
+
+def table1_calibration(config: ExperimentConfig | None = None) -> TableResult:
+    """Structural calibration metrics of the generated instances.
+
+    Companion to Table 1: the quantities the synthetic recipes are tuned
+    on (see docs/datasets.md) — zero-in-degree share (singleton driver),
+    power-law tail exponent, in-degree Gini, reciprocity.
+    """
+    from repro.graphs.metrics import compute_metrics
+
+    config = config or ExperimentConfig.from_env()
+    headers = ["Code", "|V|", "|E|", "avg deg", "max d-", "zero-in",
+               "recipr.", "tail a", "gini"]
+    rows = []
+    for code in config.datasets:
+        graph = config.graph(code, "IC")
+        m = compute_metrics(graph)
+        rows.append([code] + m.as_row())
+    return TableResult(
+        table="Table 1b",
+        title="Calibration metrics of the generated instances",
+        headers=headers,
+        rows=rows,
+        cells={},
+        notes="see docs/datasets.md for which metric calibrates what",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tables 2-5 — speedup sweeps
+# ---------------------------------------------------------------------------
+def _sweep_table(
+    config: ExperimentConfig,
+    model: str,
+    sweep: str,
+    table: str,
+) -> TableResult:
+    device = config.device(pressure=True)
+    bounds = config.bounds(sweep=True)
+    cells: dict = {}
+    if sweep == "k":
+        values = K_SWEEP
+        headers = ["Dataset"] + [f"k={v}" for v in values]
+        title = f"eIM speedup over gIM under {model}, eps={config.default_epsilon}, k sweep"
+    else:
+        values = EPS_SWEEP
+        headers = ["Dataset"] + [f"eps={v}" for v in values]
+        title = f"eIM speedup over gIM under {model}, k=100, eps sweep"
+    rows = []
+    for code in config.datasets:
+        row_cells = [code]
+        for v in values:
+            if sweep == "k":
+                comparison = compare_engines(
+                    code, int(v), config.default_epsilon, model, config,
+                    include_curipples=False, device=device, bounds=bounds,
+                )
+            else:
+                comparison = compare_engines(
+                    code, 100, float(v), model, config,
+                    include_curipples=False, device=device, bounds=bounds,
+                )
+            cells[(code, v)] = comparison
+            row_cells.append(comparison.table_cell_vs_gim())
+        rows.append(row_cells)
+    return TableResult(
+        table=table,
+        title=title,
+        headers=headers,
+        rows=rows,
+        cells=cells,
+        notes="OOM/x.xx marks gIM out-of-memory with eIM's simulated seconds",
+    )
+
+
+def table2_ic_k_sweep(config: ExperimentConfig | None = None) -> TableResult:
+    """Speedup of eIM over gIM under IC while increasing k (eps fixed)."""
+    return _sweep_table(config or ExperimentConfig.from_env(), "IC", "k", "Table 2")
+
+
+def table3_ic_eps_sweep(config: ExperimentConfig | None = None) -> TableResult:
+    """Speedup of eIM over gIM under IC while decreasing eps (k=100)."""
+    return _sweep_table(config or ExperimentConfig.from_env(), "IC", "eps", "Table 3")
+
+
+def table4_lt_k_sweep(config: ExperimentConfig | None = None) -> TableResult:
+    """Speedup of eIM over gIM under LT while increasing k (eps fixed)."""
+    return _sweep_table(config or ExperimentConfig.from_env(), "LT", "k", "Table 4")
+
+
+def table5_lt_eps_sweep(config: ExperimentConfig | None = None) -> TableResult:
+    """Speedup of eIM over gIM under LT while decreasing eps (k=100)."""
+    return _sweep_table(config or ExperimentConfig.from_env(), "LT", "eps", "Table 5")

@@ -1,0 +1,45 @@
+"""Simulated SIMT execution substrate.
+
+The paper's engine comparisons are CUDA-vs-CUDA on an RTX A6000; this
+package replaces the hardware with an analytic device model so the same
+comparisons run anywhere:
+
+* :class:`DeviceSpec` — SM/warp/occupancy geometry, memory capacities and
+  a throughput-oriented cycle-cost table;
+* :class:`GlobalMemoryPool` — allocation tracking with OOM faults (the
+  mechanism behind the paper's ``OOM`` table entries);
+* warp primitives — an actual ``__shfl_up_sync``-style inclusive scan and
+  ballot, used by the LT kernel model and validated against NumPy;
+* :class:`CostModel` — cycles charged per memory transaction class,
+  atomic, RNG draw, shuffle, dynamic allocation and PCIe transfer;
+* :func:`makespan` — list scheduling of per-set traversal costs onto the
+  device's resident blocks (the round-robin dynamic assignment of §3.2).
+
+Absolute cycle counts are a model, not a measurement; every paper-shape
+claim (who wins, crossovers, OOM onsets) depends only on cost *ratios*
+that follow from operation counts the real algorithms produce.
+"""
+
+from repro.gpu.atomics import AtomicCounter
+from repro.gpu.cost_model import CostModel
+from repro.gpu.device import RTX_A6000, DeviceSpec, SimulatedDevice
+from repro.gpu.memory import Allocation, GlobalMemoryPool
+from repro.gpu.multi import MultiDeviceResult, run_multi_device_eim
+from repro.gpu.scheduler import makespan
+from repro.gpu.warp import warp_ballot, warp_inclusive_scan, warp_reduce_sum
+
+__all__ = [
+    "Allocation",
+    "AtomicCounter",
+    "CostModel",
+    "DeviceSpec",
+    "GlobalMemoryPool",
+    "MultiDeviceResult",
+    "RTX_A6000",
+    "SimulatedDevice",
+    "makespan",
+    "run_multi_device_eim",
+    "warp_ballot",
+    "warp_inclusive_scan",
+    "warp_reduce_sum",
+]

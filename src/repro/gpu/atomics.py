@@ -1,0 +1,57 @@
+"""Atomic counters with contention-aware cost accounting.
+
+Alg. 2 uses three atomics — the global RRR counter ``count``, the store
+offset ``offset`` and the per-vertex frequency ``C[v]`` updates.  On
+hardware, atomics to the same address serialize; the counter tracks how
+many operations it absorbed so cost models can charge
+``ops * atomic_cycles`` (same-address contention) instead of pretending
+they were free.
+"""
+
+from __future__ import annotations
+
+from repro.utils.errors import ValidationError
+
+
+class AtomicCounter:
+    """Sequentially consistent counter mirroring CUDA ``atomicAdd``."""
+
+    __slots__ = ("value", "ops", "label")
+
+    def __init__(self, initial: int = 0, label: str = ""):
+        self.value = int(initial)
+        self.ops = 0
+        self.label = label
+
+    def add(self, delta: int) -> int:
+        """Atomic fetch-and-add; returns the *old* value like ``atomicAdd``."""
+        old = self.value
+        self.value += int(delta)
+        self.ops += 1
+        return old
+
+    def sub(self, delta: int) -> int:
+        """Atomic fetch-and-sub; returns the old value."""
+        return self.add(-int(delta))
+
+    def exchange(self, new_value: int) -> int:
+        """Atomic exchange; returns the old value."""
+        old = self.value
+        self.value = int(new_value)
+        self.ops += 1
+        return old
+
+    def compare_and_swap(self, expected: int, new_value: int) -> int:
+        """Atomic CAS; returns the old value (swap happened iff it equals
+        ``expected``)."""
+        old = self.value
+        if old == int(expected):
+            self.value = int(new_value)
+        self.ops += 1
+        return old
+
+    def contention_cycles(self, per_op_cycles: float) -> float:
+        """Serialized cost of every operation this counter absorbed."""
+        if per_op_cycles < 0:
+            raise ValidationError("per_op_cycles must be non-negative")
+        return self.ops * per_op_cycles

@@ -1,0 +1,159 @@
+"""Device geometry and the simulated-device facade.
+
+Defaults model the paper's NVIDIA RTX A6000 (84 SMs, 48 GB GDDR6, PCIe
+4.0 x16 host link).  :meth:`DeviceSpec.scaled` shrinks *memory capacity*
+along with the synthetic datasets so out-of-memory boundaries appear at
+the same workload-to-capacity ratios as on real hardware; compute
+geometry is left alone because occupancy ratios (threads vs warps, the
+Fig. 3 crossover) are scale-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.gpu.memory import GlobalMemoryPool
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Geometry, capacities and throughput-cost table of a simulated GPU.
+
+    Cost entries are *issue-slot* cycles per warp-level operation with
+    memory latency amortized by occupancy — a throughput model, the right
+    regime for kernels with thousands of resident warps.
+    """
+
+    name: str = "RTX A6000 (simulated)"
+    num_sms: int = 84
+    max_blocks_per_sm: int = 16
+    max_threads_per_sm: int = 1536
+    warp_size: int = 32
+    shared_mem_per_block: int = 48 * 1024
+    global_mem_bytes: int = 48 * 2**30
+    clock_ghz: float = 1.8
+    pcie_gbytes_per_s: float = 16.0
+
+    # throughput costs, in cycles
+    global_coalesced_per_elem: float = 2.0
+    global_random_per_elem: float = 24.0
+    shared_per_elem: float = 1.0
+    atomic_global_cycles: float = 30.0
+    atomic_shared_cycles: float = 8.0
+    shfl_cycles: float = 1.0
+    alu_cycles: float = 1.0
+    rng_cycles: float = 8.0
+    malloc_cycles: float = 4000.0
+    transfer_setup_cycles: float = 20000.0
+    kernel_launch_cycles: float = 5000.0
+    #: fixed per-scan-iteration overhead (loop bookkeeping, divergence
+    #: reconvergence); the term that makes warp-based scanning lose at
+    #: large set counts (Fig. 3)
+    scan_iteration_overhead_cycles: float = 12.0
+    #: per-element-per-log-pass constant of the in-warp bitonic sort eIM
+    #: runs before storing each set (§3.2)
+    sort_pass_cycles: float = 0.25
+    #: CPU element-processing cost relative to a GPU cycle (cuRipples'
+    #: host-side remainder of seed selection)
+    cpu_cycles_per_element: float = 60.0
+
+    def __post_init__(self):
+        if self.num_sms < 1 or self.warp_size < 1:
+            raise ValidationError("device geometry must be positive")
+        if self.global_mem_bytes < 1:
+            raise ValidationError("global memory must be positive")
+
+    # -- occupancy ----------------------------------------------------------
+    @property
+    def resident_blocks(self) -> int:
+        """Concurrent blocks when each block is a single warp (§3.2)."""
+        per_sm = min(self.max_blocks_per_sm, self.max_threads_per_sm // self.warp_size)
+        return self.num_sms * per_sm
+
+    @property
+    def launchable_threads(self) -> int:
+        """T_n of §3.5."""
+        return self.num_sms * self.max_threads_per_sm
+
+    @property
+    def launchable_warps(self) -> int:
+        """W_n of §3.5."""
+        return self.launchable_threads // self.warp_size
+
+    # -- conversions -----------------------------------------------------------
+    def seconds(self, cycles: float) -> float:
+        """Convert modeled cycles to simulated seconds."""
+        return cycles / (self.clock_ghz * 1e9)
+
+    def transfer_cycles(self, nbytes: int) -> float:
+        """Host<->device copy cost over the PCIe link."""
+        if nbytes < 0:
+            raise ValidationError("cannot transfer negative bytes")
+        bandwidth_cycles = nbytes * self.clock_ghz / self.pcie_gbytes_per_s
+        return self.transfer_setup_cycles + bandwidth_cycles
+
+    def scaled(self, memory_divisor: float, compute_divisor: float | None = None) -> "DeviceSpec":
+        """A proportionally smaller device for scaled-down datasets.
+
+        Dividing only memory would leave an 84-SM GPU with megabytes of
+        RAM — per-SM overheads (eIM's per-block queue pool, gIM's
+        temporaries) would be wildly out of proportion.  Real product
+        lines shrink both together (Jetson-class parts pair 1-2 SMs with
+        a few GB), so ``compute_divisor`` defaults to ``memory_divisor``;
+        SM count is floored at 2 so warp/thread occupancy ratios — the
+        Fig. 3 axis — stay meaningful.
+        """
+        if memory_divisor <= 0:
+            raise ValidationError("memory_divisor must be positive")
+        if compute_divisor is None:
+            compute_divisor = memory_divisor
+        if compute_divisor <= 0:
+            raise ValidationError("compute_divisor must be positive")
+        return replace(
+            self,
+            name=f"{self.name} / mem÷{memory_divisor:g} sm÷{compute_divisor:g}",
+            global_mem_bytes=max(1, int(self.global_mem_bytes / memory_divisor)),
+            num_sms=max(2, int(round(self.num_sms / compute_divisor))),
+        )
+
+
+#: The paper's evaluation GPU.
+RTX_A6000 = DeviceSpec()
+
+
+class SimulatedDevice:
+    """A device instance: spec + live memory pool + cycle ledger.
+
+    Engines allocate through :attr:`memory` (raising
+    :class:`~repro.utils.errors.DeviceOOMError` past capacity) and record
+    kernel costs through :meth:`charge`; :attr:`timeline` keeps the
+    per-kernel breakdown the experiment reports print.
+    """
+
+    def __init__(self, spec: DeviceSpec | None = None):
+        self.spec = spec or RTX_A6000
+        self.memory = GlobalMemoryPool(self.spec.global_mem_bytes)
+        self.timeline: list[tuple[str, float]] = []
+
+    def charge(self, label: str, cycles: float) -> float:
+        """Record ``cycles`` of work under ``label``; returns the cycles."""
+        if cycles < 0:
+            raise ValidationError(f"negative cycle charge for {label!r}")
+        self.timeline.append((label, float(cycles)))
+        return float(cycles)
+
+    @property
+    def elapsed_cycles(self) -> float:
+        """Total cycles charged so far."""
+        return float(sum(c for _, c in self.timeline))
+
+    def elapsed_seconds(self) -> float:
+        return self.spec.seconds(self.elapsed_cycles)
+
+    def breakdown(self) -> dict[str, float]:
+        """Cycles grouped by label."""
+        out: dict[str, float] = {}
+        for label, cycles in self.timeline:
+            out[label] = out.get(label, 0.0) + cycles
+        return out

@@ -1,0 +1,70 @@
+"""Global-memory pool with allocation tracking and OOM faults.
+
+gIM's failure mode in the paper's Tables 2-5 is exhausting device memory
+through its raw RRR store and repeated dynamic allocations; this pool
+makes that observable: every engine allocation is labeled and counted,
+and exceeding capacity raises :class:`DeviceOOMError` exactly where a
+CUDA ``cudaMalloc`` would fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.errors import DeviceOOMError, ValidationError
+
+
+@dataclass
+class Allocation:
+    """Handle to one live device allocation."""
+
+    label: str
+    nbytes: int
+    alloc_id: int
+    freed: bool = False
+
+
+class GlobalMemoryPool:
+    """Tracks simulated device allocations against a fixed capacity."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes < 1:
+            raise ValidationError("capacity must be positive")
+        self.capacity = int(capacity_bytes)
+        self.in_use = 0
+        self.peak = 0
+        self.alloc_count = 0
+        self._live: dict[int, Allocation] = {}
+
+    def allocate(self, nbytes: int, label: str = "") -> Allocation:
+        """Reserve ``nbytes``; raises :class:`DeviceOOMError` past capacity."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValidationError(f"cannot allocate {nbytes} bytes")
+        if self.in_use + nbytes > self.capacity:
+            raise DeviceOOMError(nbytes, self.in_use, self.capacity, label)
+        self.alloc_count += 1
+        alloc = Allocation(label, nbytes, self.alloc_count)
+        self._live[alloc.alloc_id] = alloc
+        self.in_use += nbytes
+        self.peak = max(self.peak, self.in_use)
+        return alloc
+
+    def free(self, alloc: Allocation) -> None:
+        """Release an allocation (idempotent frees are an error)."""
+        if alloc.freed or alloc.alloc_id not in self._live:
+            raise ValidationError(f"double free of allocation {alloc.alloc_id}")
+        alloc.freed = True
+        del self._live[alloc.alloc_id]
+        self.in_use -= alloc.nbytes
+
+    def live_bytes_by_label(self) -> dict[str, int]:
+        """Current usage grouped by allocation label."""
+        out: dict[str, int] = {}
+        for alloc in self._live.values():
+            out[alloc.label] = out.get(alloc.label, 0) + alloc.nbytes
+        return out
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.in_use

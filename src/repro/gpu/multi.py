@@ -1,0 +1,164 @@
+"""Multi-device execution model — the paper's first future-work item.
+
+The conclusion says: "we plan to extend eIM to support multi-GPU
+execution to further improve scalability."  RRR generation parallelizes
+trivially (sets are independent, so theta is striped across devices);
+seed selection needs one inter-device reduction of the count array per
+greedy iteration plus a broadcast of the selected vertex, and each
+device scans only its resident shard of R.
+
+This module models that design: per-device memory pools (each holds its
+shard of the RRR store), an NVLink-class interconnect for the count
+all-reduce, and the resulting makespan.  The ablation benchmark sweeps
+the device count to show the scaling curve and the point where the
+all-reduce starts eating the gains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.cost_model import CostModel
+from repro.gpu.device import DeviceSpec, SimulatedDevice
+from repro.gpu.scheduler import makespan
+from repro.utils.errors import ValidationError
+
+#: effective all-reduce bandwidth between devices (NVLink-class), GB/s
+NVLINK_GBYTES_PER_S = 50.0
+#: fixed latency per collective operation, cycles
+COLLECTIVE_SETUP_CYCLES = 8000.0
+
+
+@dataclass
+class MultiDeviceResult:
+    """Outcome of a simulated multi-GPU eIM execution."""
+
+    num_devices: int
+    sampling_cycles: float
+    selection_cycles: float
+    collective_cycles: float
+    total_cycles: float
+    per_device_peak_bytes: int
+    oom: bool
+
+
+def allreduce_cycles(spec: DeviceSpec, nbytes: int, num_devices: int) -> float:
+    """Ring all-reduce cost: ``2 * (D-1)/D * bytes`` over the interconnect.
+
+    The latency floor scales with the device model (``num_sms / 84``) the
+    same way :meth:`DeviceSpec.scaled` shrinks compute — a scaled-down
+    device pairs with a proportionally scaled-down interconnect, keeping
+    collective-to-kernel cost ratios at their full-scale values.
+    """
+    if num_devices < 1:
+        raise ValidationError("need at least one device")
+    if num_devices == 1:
+        return 0.0
+    volume = 2.0 * (num_devices - 1) / num_devices * nbytes
+    bandwidth_cycles = volume * spec.clock_ghz / NVLINK_GBYTES_PER_S
+    setup = COLLECTIVE_SETUP_CYCLES * spec.num_sms / 84.0
+    return setup + bandwidth_cycles
+
+
+def run_multi_device_eim(
+    imm_result,
+    graph,
+    spec: DeviceSpec,
+    num_devices: int,
+    log_encoding: bool = True,
+) -> MultiDeviceResult:
+    """Model an eIM run striped over ``num_devices`` identical GPUs.
+
+    Consumes an already-computed :class:`~repro.imm.imm.IMMResult` (the
+    algorithmic work is identical regardless of device count); charges
+    each device its shard of sampling and selection plus the per-greedy-
+    iteration count all-reduce.
+    """
+    from repro.encoding.bitpack import required_bits
+    from repro.encoding.csc_encoded import encode_graph
+    from repro.utils.errors import DeviceOOMError
+
+    if num_devices < 1:
+        raise ValidationError("need at least one device")
+    cost = CostModel(spec)
+    trace = imm_result.trace
+    bits = required_bits(max(graph.n - 1, 1))
+
+    # --- sampling: stripe attempted sets round-robin over all blocks ----
+    if imm_result.model == "IC":
+        expand = cost.ic_expansion_cycles(trace.edges_examined, log_encoding, bits)
+    else:
+        expand = cost.lt_expansion_cycles(
+            trace.edges_examined, trace.rounds, log_encoding, bits
+        )
+    queue, _ = cost.queue_ops_cycles(trace.sizes, queue="global")
+    sort = cost.sort_cycles(trace.sizes)
+    store = np.where(
+        trace.kept_mask,
+        cost.store_cycles(trace.sizes, log_encoding, bits, copies=1),
+        0.0,
+    )
+    per_set = expand + queue + sort + store
+    sampling = makespan(per_set, spec.resident_blocks * num_devices)
+    # each device ends sampling with a partial count array: one all-reduce
+    count_bytes = 4 * graph.n
+    collectives = allreduce_cycles(spec, count_bytes, num_devices)
+
+    # --- selection: each device scans its R shard; counts re-reduced and
+    # the winner broadcast every iteration --------------------------------
+    stats = imm_result.selection.stats
+    shard = _shard_stats(stats, num_devices)
+    selection = cost.thread_scan_cycles(shard, log_encoding, bits)
+    selection += cost.argmax_cycles(graph.n, imm_result.k)
+    # per greedy iteration, devices reconcile counts by whichever is
+    # cheaper: the dense count array (4n bytes) or the sparse decrement
+    # deltas of that round's covered sets (8 bytes each) — the choice a
+    # real distributed greedy makes
+    for decremented in stats.elements_decremented:
+        volume = min(count_bytes, int(decremented) * 8)
+        collectives += allreduce_cycles(spec, volume, num_devices)
+
+    # --- per-device memory -------------------------------------------------
+    device = SimulatedDevice(spec)
+    oom = False
+    try:
+        graph_bytes = (
+            encode_graph(graph).nbytes_packed() if log_encoding else graph.nbytes_csc()
+        )
+        device.memory.allocate(graph_bytes, "graph_replica")
+        device.memory.allocate(spec.resident_blocks * graph.n * 4, "queue_pool")
+        rrr_bytes = (
+            imm_result.collection.nbytes_packed()
+            if log_encoding
+            else imm_result.collection.nbytes_raw()
+        )
+        device.memory.allocate(-(-rrr_bytes // num_devices), "rrr_shard")
+    except DeviceOOMError:
+        oom = True
+
+    total = sampling + selection + collectives
+    return MultiDeviceResult(
+        num_devices=num_devices,
+        sampling_cycles=float(sampling),
+        selection_cycles=float(selection),
+        collective_cycles=float(collectives),
+        total_cycles=float(total),
+        per_device_peak_bytes=device.memory.peak,
+        oom=oom,
+    )
+
+
+def _shard_stats(stats, num_devices: int):
+    """Each device scans 1/D of the sets every iteration."""
+    from repro.imm.seed_selection import SelectionStats
+
+    return SelectionStats(
+        sets_scanned=np.ceil(stats.sets_scanned / num_devices).astype(np.int64),
+        sets_found=np.maximum(stats.sets_found // num_devices, 1),
+        elements_decremented=np.maximum(
+            stats.elements_decremented // num_devices, 1
+        ),
+        avg_set_size=stats.avg_set_size,
+    )

@@ -1,0 +1,30 @@
+"""Lane-level SIMT execution of the paper's kernels.
+
+The analytic cost model in :mod:`repro.gpu.cost_model` converts operation
+counts into cycles; this package is the other half of the substrate: a
+small SIMT machine that *executes* Algorithm 2 (RRR sampling, IC and LT)
+and Algorithm 3 (count updates during seed selection) with explicit
+warp semantics — 32-wide lane vectors, active masks, warp-serialized
+atomics, ``shfl_up`` scans and ballots.
+
+It exists for fidelity and validation, not speed: the vectorized batch
+samplers in :mod:`repro.rrr` are the production path, and the tests in
+``tests/integration/test_simt_vs_batch.py`` prove the two produce
+equivalent RRR distributions (and byte-identical stores on deterministic
+inputs).  It also counts every operation class as it executes, so the
+analytic cost model's inputs can be cross-checked against a real kernel
+run.
+"""
+
+from repro.gpu.simt.machine import DeviceArrays, OpCounts, WarpContext
+from repro.gpu.simt.sampling import simt_sample_ic, simt_sample_lt
+from repro.gpu.simt.selection import simt_select_seeds
+
+__all__ = [
+    "DeviceArrays",
+    "OpCounts",
+    "WarpContext",
+    "simt_sample_ic",
+    "simt_sample_lt",
+    "simt_select_seeds",
+]

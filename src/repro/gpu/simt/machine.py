@@ -1,0 +1,178 @@
+"""The SIMT machine: warp context, device arrays and operation counters.
+
+A kernel here is an ordinary Python function written in *explicit SIMT
+style*: every value that differs per lane is a NumPy vector of length
+``warp_size`` and every control decision carries an active-lane mask,
+exactly as a CUDA kernel's divergence semantics require.  The
+:class:`WarpContext` supplies the hardware primitives — per-lane RNG,
+warp-serialized atomics, shuffles, ballots — and counts each operation
+class so a kernel run can be replayed through the analytic cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+from repro.utils.rng import as_generator
+
+
+@dataclass
+class OpCounts:
+    """Operation tallies of one kernel execution."""
+
+    global_reads: int = 0
+    global_writes: int = 0
+    shared_ops: int = 0
+    atomics: int = 0
+    rng_draws: int = 0
+    shuffles: int = 0
+    ballots: int = 0
+    divergent_branches: int = 0
+
+    def merged(self, other: "OpCounts") -> "OpCounts":
+        return OpCounts(
+            self.global_reads + other.global_reads,
+            self.global_writes + other.global_writes,
+            self.shared_ops + other.shared_ops,
+            self.atomics + other.atomics,
+            self.rng_draws + other.rng_draws,
+            self.shuffles + other.shuffles,
+            self.ballots + other.ballots,
+            self.divergent_branches + other.divergent_branches,
+        )
+
+
+class DeviceArrays:
+    """Global-memory arrays of a kernel launch, with growable R.
+
+    Mirrors the device allocations of Alg. 2: the flat store ``R``
+    (grown geometrically like a pre-sized arena), offsets ``O``, counts
+    ``C``, the visited bitmap ``M`` and one BFS queue per block.
+    """
+
+    def __init__(self, n: int, theta: int, queue_capacity: int):
+        if theta < 0 or n < 1:
+            raise ValidationError("need n >= 1 and theta >= 0")
+        self.n = n
+        self.theta = theta
+        self.R = np.zeros(max(4 * theta, 64), dtype=np.int32)
+        self.O = np.zeros(theta + 1, dtype=np.int64)
+        self.C = np.zeros(n, dtype=np.int64)
+        self.M = np.zeros(n, dtype=np.int8)
+        self.queue = np.zeros(queue_capacity, dtype=np.int32)
+        self.sources = np.zeros(theta, dtype=np.int64)
+        #: device-global atomics (Alg. 2's `count` and `offset`)
+        self.count = 0
+        self.offset = 0
+
+    def ensure_r_capacity(self, needed: int) -> None:
+        """Grow R geometrically (arena-style, no per-set malloc)."""
+        if needed <= self.R.size:
+            return
+        new_size = self.R.size
+        while new_size < needed:
+            new_size *= 2
+        grown = np.zeros(new_size, dtype=np.int32)
+        grown[: self.R.size] = self.R
+        self.R = grown
+
+
+class WarpContext:
+    """One warp's view of the machine: 32 lanes plus hardware primitives."""
+
+    def __init__(self, warp_size: int = 32, rng=None):
+        if warp_size < 1:
+            raise ValidationError("warp_size must be positive")
+        self.warp_size = warp_size
+        self.lane_ids = np.arange(warp_size, dtype=np.int64)
+        self.rng = as_generator(rng)
+        self.ops = OpCounts()
+
+    # -- per-lane randomness -------------------------------------------------
+    def lane_random(self, active: np.ndarray) -> np.ndarray:
+        """One U[0,1) draw per lane (inactive lanes draw too, as real
+        divergent warps do — the instruction issues for the whole warp)."""
+        self.ops.rng_draws += self.warp_size
+        return self.rng.random(self.warp_size) * 1.0 + 0.0 * (~active)
+
+    def thread0_random_int(self, high: int) -> int:
+        """A single lane-0 draw (Alg. 2 line 6)."""
+        self.ops.rng_draws += 1
+        return int(self.rng.integers(0, high))
+
+    def thread0_random(self) -> float:
+        """A single lane-0 uniform draw (LT thresholds, §3.3)."""
+        self.ops.rng_draws += 1
+        return float(self.rng.random())
+
+    # -- warp collectives -----------------------------------------------------
+    def ballot(self, predicate: np.ndarray) -> int:
+        """``__ballot_sync``: bitmask over lanes."""
+        self.ops.ballots += 1
+        mask = 0
+        for lane in np.flatnonzero(predicate):
+            mask |= 1 << int(lane)
+        return mask
+
+    def shfl_up(self, values: np.ndarray, delta: int) -> np.ndarray:
+        """``__shfl_up_sync``: lane i receives lane i-delta's value
+        (lanes below ``delta`` keep their own)."""
+        self.ops.shuffles += 1
+        out = values.copy()
+        if delta > 0:
+            out[delta:] = values[:-delta]
+        return out
+
+    def inclusive_scan(self, values: np.ndarray) -> np.ndarray:
+        """The §3.3 doubling prefix sum built from :meth:`shfl_up`."""
+        acc = np.asarray(values, dtype=np.float64).copy()
+        offset = 1
+        while offset < self.warp_size:
+            received = self.shfl_up(acc, offset)
+            add_mask = self.lane_ids >= offset
+            acc = np.where(add_mask, acc + received, acc)
+            offset *= 2
+        return acc
+
+    # -- warp-serialized atomics ---------------------------------------------
+    def atomic_add_scalar(self, obj, attr: str, delta: int) -> int:
+        """Lane-0 atomicAdd on a device-global scalar; returns old value."""
+        self.ops.atomics += 1
+        old = getattr(obj, attr)
+        setattr(obj, attr, old + delta)
+        return old
+
+    def atomic_enqueue(self, active: np.ndarray, values: np.ndarray,
+                       queue: np.ndarray, obj, tail_attr: str) -> None:
+        """Each active lane atomically claims a queue slot (Alg. 2 lines
+        19-20); lane order is the hardware's serialization order."""
+        for lane in np.flatnonzero(active):
+            slot = getattr(obj, tail_attr)
+            setattr(obj, tail_attr, slot + 1)
+            queue[slot] = values[lane]
+            self.ops.atomics += 1
+            self.ops.global_writes += 1
+
+    def atomic_add_array(self, array: np.ndarray, indices: np.ndarray,
+                         active: np.ndarray, delta: int) -> None:
+        """Per-lane atomicAdd into a device array (C updates)."""
+        idx = indices[active]
+        np.add.at(array, idx, delta)
+        self.ops.atomics += int(active.sum())
+
+    # -- memory traffic accounting ---------------------------------------------
+    def global_read(self, count: int = 1) -> None:
+        self.ops.global_reads += count
+
+    def global_write(self, count: int = 1) -> None:
+        self.ops.global_writes += count
+
+    def shared_op(self, count: int = 1) -> None:
+        self.ops.shared_ops += count
+
+    def diverge(self) -> None:
+        """Record a divergent branch (both sides execute)."""
+        self.ops.divergent_branches += 1

@@ -1,0 +1,242 @@
+"""Algorithm 2 executed lane-by-lane: RRR sampling under IC and LT.
+
+These kernels follow the paper's pseudocode line by line — thread 0
+draws the source and walks the queue head, the warp expands in-neighbor
+chunks 32 lanes at a time, hits are marked in ``M`` *before* the
+serialized atomic enqueue (the ordering §3.2 calls out), finished queues
+are sorted ascending and copied straight into ``R`` under the global
+offset atomic.  Blocks interleave round-robin on the shared ``count``
+atomic exactly like the device's dynamic set assignment.
+
+Execution is intentionally literal (Python loop per warp chunk): it is
+the *reference semantics* against which the vectorized batch samplers
+and the analytic cost model are validated, at small scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.simt.machine import DeviceArrays, OpCounts, WarpContext
+from repro.graphs.csc import DirectedGraph
+from repro.rrr.collection import RRRCollection
+from repro.utils.errors import ValidationError
+from repro.utils.rng import spawn_generators
+
+
+class _Block:
+    """One block: a single warp plus its private queue cursors."""
+
+    def __init__(self, warp_size: int, rng, queue_capacity: int):
+        self.ctx = WarpContext(warp_size, rng)
+        self.queue = np.zeros(queue_capacity, dtype=np.int32)
+        self.q_head = 0
+        self.q_tail = 0
+
+
+def _expand_ic(block: _Block, graph: DirectedGraph, dev: DeviceArrays, u: int) -> None:
+    """Alg. 2 lines 15-20: warp-parallel probabilistic expansion of u."""
+    ctx = block.ctx
+    start = int(graph.indptr[u])
+    end = int(graph.indptr[u + 1])
+    for chunk in range(start, end, ctx.warp_size):
+        hi = min(chunk + ctx.warp_size, end)
+        width = hi - chunk
+        active = ctx.lane_ids < width
+        v = np.zeros(ctx.warp_size, dtype=np.int64)
+        p = np.zeros(ctx.warp_size, dtype=np.float64)
+        v[:width] = graph.indices[chunk:hi]
+        p[:width] = graph.weights[chunk:hi]
+        ctx.global_read(width)  # coalesced neighbor+weight fetch
+        r = ctx.lane_random(active)
+        hit = active & (r <= p)
+        if hit.any() and not hit.all():
+            ctx.diverge()
+        # mark-then-enqueue, in hardware lane serialization order; the
+        # M check re-runs per lane so same-chunk duplicates stay out
+        for lane in np.flatnonzero(hit):
+            vertex = int(v[lane])
+            ctx.global_read(1)  # M probe
+            if dev.M[vertex] == 0:
+                dev.M[vertex] = 1
+                ctx.global_write(1)
+                slot = block.q_tail
+                block.q_tail += 1
+                block.queue[slot] = vertex
+                ctx.ops.atomics += 1
+                ctx.global_write(1)
+
+
+def _select_lt_neighbor(block: _Block, graph: DirectedGraph, u: int, tau: float) -> int:
+    """§3.3: shfl_up prefix scan picks the first threshold-crossing
+    in-neighbor of ``u``; returns -1 when no crossing."""
+    ctx = block.ctx
+    start = int(graph.indptr[u])
+    end = int(graph.indptr[u + 1])
+    base = 0.0
+    for chunk in range(start, end, ctx.warp_size):
+        hi = min(chunk + ctx.warp_size, end)
+        width = hi - chunk
+        active = ctx.lane_ids < width
+        w = np.zeros(ctx.warp_size, dtype=np.float64)
+        w[:width] = graph.weights[chunk:hi]
+        ctx.global_read(width)
+        inclusive = ctx.inclusive_scan(w) + base
+        exclusive = inclusive - w
+        crossing = active & (inclusive >= tau) & (exclusive < tau)
+        lanes = np.flatnonzero(crossing)
+        if lanes.size:
+            return int(graph.indices[chunk + int(lanes[0])])
+        base = float(inclusive[width - 1])
+    return -1
+
+
+def _finish_set(
+    block: _Block,
+    dev: DeviceArrays,
+    source: int,
+    eliminate_sources: bool,
+) -> bool:
+    """Alg. 2 lines 21-28: sort the queue, strip the source if asked,
+    store into R/O/C, reset M.  Returns False when the set emptied and
+    was discarded (it does not count toward theta)."""
+    ctx = block.ctx
+    size = block.q_tail
+    members = np.sort(block.queue[:size].astype(np.int64))
+    # in-warp bitonic sort: ~size * log2(size)^2 comparator shuffles
+    logs = int(np.ceil(np.log2(max(size, 2))))
+    ctx.ops.shuffles += size * logs * logs
+    # reset M for next set regardless of keep/discard
+    dev.M[members] = 0
+    ctx.global_write(size)
+    if eliminate_sources:
+        members = members[members != source]
+    if eliminate_sources and members.size == 0:
+        return False
+    my_set = dev.count
+    dev.count += 1
+    ctx.ops.atomics += 1
+    old_offset = ctx.atomic_add_scalar(dev, "offset", members.size)
+    dev.ensure_r_capacity(old_offset + members.size)
+    dev.O[my_set + 1] = old_offset + members.size
+    dev.R[old_offset : old_offset + members.size] = members
+    ctx.global_write(members.size)
+    np.add.at(dev.C, members, 1)
+    ctx.ops.atomics += members.size
+    dev.sources[my_set] = source
+    return True
+
+
+def _run_sampling(
+    graph: DirectedGraph,
+    theta: int,
+    rng,
+    warp_size: int,
+    num_blocks: int,
+    eliminate_sources: bool,
+    step_fn,
+) -> tuple[RRRCollection, OpCounts]:
+    if graph.weights is None:
+        raise ValidationError("SIMT sampling requires a weighted graph")
+    if theta < 0:
+        raise ValidationError("theta must be non-negative")
+    dev = DeviceArrays(graph.n, theta, queue_capacity=graph.n)
+    streams = spawn_generators(rng, max(num_blocks, 1))
+    blocks = [_Block(warp_size, s, graph.n) for s in streams]
+    attempts = 0
+    max_attempts = 64 * max(theta, 1) + 1024
+    while dev.count < theta:
+        for block in blocks:
+            if dev.count >= theta:
+                break
+            attempts += 1
+            if attempts > max_attempts:
+                raise ValidationError(
+                    "source elimination discarded nearly every set in the "
+                    "SIMT sampler; the graph has too few edges"
+                )
+            step_fn(block, graph, dev, eliminate_sources)
+    counts = OpCounts()
+    for block in blocks:
+        counts = counts.merged(block.ctx.ops)
+    collection = RRRCollection(
+        dev.R[: dev.offset].copy(),
+        dev.O[: theta + 1].copy(),
+        graph.n,
+        sources=dev.sources[:theta].copy(),
+        check=False,
+    )
+    return collection, counts
+
+
+def _ic_step(block: _Block, graph: DirectedGraph, dev: DeviceArrays,
+             eliminate_sources: bool) -> None:
+    """Generate one IC RRR set on this block (Alg. 2 body)."""
+    ctx = block.ctx
+    source = ctx.thread0_random_int(graph.n)
+    dev.M[source] = 1
+    block.queue[0] = source
+    block.q_head, block.q_tail = 0, 1
+    ctx.global_write(2)
+    while block.q_head < block.q_tail:
+        u = int(block.queue[block.q_head])
+        block.q_head += 1
+        ctx.global_read(1)
+        _expand_ic(block, graph, dev, u)
+    _finish_set(block, dev, source, eliminate_sources)
+
+
+def _lt_step(block: _Block, graph: DirectedGraph, dev: DeviceArrays,
+             eliminate_sources: bool) -> None:
+    """Generate one LT RRR walk on this block (§3.3 modification)."""
+    ctx = block.ctx
+    source = ctx.thread0_random_int(graph.n)
+    dev.M[source] = 1
+    block.queue[0] = source
+    block.q_head, block.q_tail = 0, 1
+    ctx.global_write(2)
+    while block.q_head < block.q_tail:
+        u = int(block.queue[block.q_head])
+        block.q_head += 1
+        ctx.global_read(1)
+        tau = ctx.thread0_random()
+        chosen = _select_lt_neighbor(block, graph, u, tau)
+        if chosen < 0:
+            continue
+        ctx.global_read(1)  # M probe
+        if dev.M[chosen] == 0:
+            dev.M[chosen] = 1
+            block.queue[block.q_tail] = chosen
+            block.q_tail += 1
+            ctx.ops.atomics += 1
+            ctx.global_write(2)
+    _finish_set(block, dev, source, eliminate_sources)
+
+
+def simt_sample_ic(
+    graph: DirectedGraph,
+    theta: int,
+    rng=None,
+    warp_size: int = 32,
+    num_blocks: int = 4,
+    eliminate_sources: bool = False,
+) -> tuple[RRRCollection, OpCounts]:
+    """Execute Alg. 2 (IC) on the SIMT machine; returns the RRR store and
+    the operation tallies of all warps."""
+    return _run_sampling(
+        graph, theta, rng, warp_size, num_blocks, eliminate_sources, _ic_step
+    )
+
+
+def simt_sample_lt(
+    graph: DirectedGraph,
+    theta: int,
+    rng=None,
+    warp_size: int = 32,
+    num_blocks: int = 4,
+    eliminate_sources: bool = False,
+) -> tuple[RRRCollection, OpCounts]:
+    """Execute the LT variant of Alg. 2 (§3.3) on the SIMT machine."""
+    return _run_sampling(
+        graph, theta, rng, warp_size, num_blocks, eliminate_sources, _lt_step
+    )

@@ -1,0 +1,36 @@
+"""Graph substrate: CSC/CSR directed graphs, I/O, generators, weights, datasets.
+
+IMM samples *reverse* reachable sets, so the primary representation is
+compressed sparse column (CSC): for each vertex ``v`` the contiguous slice
+``indices[indptr[v]:indptr[v+1]]`` lists the in-neighbors of ``v`` and
+``weights`` holds the aligned activation probabilities ``p_uv``.  A CSR
+(out-edge) view is built lazily for forward diffusion simulation.
+"""
+
+from repro.graphs.csc import DirectedGraph
+from repro.graphs.datasets import DATASETS, DatasetSpec, get_dataset, load_dataset
+from repro.graphs.generators import (
+    erdos_renyi_directed,
+    powerlaw_cluster_directed,
+    powerlaw_configuration,
+)
+from repro.graphs.io import load_edgelist, save_edgelist
+from repro.graphs.metrics import GraphMetrics, compute_metrics
+from repro.graphs.weights import assign_ic_weights, assign_lt_weights
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "DirectedGraph",
+    "GraphMetrics",
+    "assign_ic_weights",
+    "assign_lt_weights",
+    "compute_metrics",
+    "erdos_renyi_directed",
+    "get_dataset",
+    "load_dataset",
+    "load_edgelist",
+    "powerlaw_cluster_directed",
+    "powerlaw_configuration",
+    "save_edgelist",
+]

@@ -1,0 +1,237 @@
+"""Directed graph in compressed sparse column (CSC) form.
+
+The CSC layout mirrors the paper's on-device representation (§3.1): three
+arrays — offsets (``indptr``), in-neighbors (``indices``) and edge weights
+(``weights``) — where the in-neighbors of vertex ``v`` occupy
+``indices[indptr[v]:indptr[v+1]]``.  In-neighbor lists are kept sorted by
+vertex id, which the samplers and the log-encoded variant both rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+from repro.utils.validation import as_int_array, require
+
+
+class DirectedGraph:
+    """A directed graph stored in CSC (in-edge) form with optional weights.
+
+    Parameters
+    ----------
+    indptr:
+        ``(n+1,)`` int64 array; ``indptr[v]:indptr[v+1]`` bounds the
+        in-neighbor slice of vertex ``v``.
+    indices:
+        ``(m,)`` int array of in-neighbor vertex ids, sorted within each
+        vertex's slice.
+    weights:
+        Optional ``(m,)`` float64 array of activation probabilities
+        ``p_uv`` aligned with ``indices`` (entry ``j`` in ``v``'s slice is
+        the probability that in-neighbor ``indices[j]`` activates ``v``).
+    """
+
+    __slots__ = (
+        "indptr",
+        "indices",
+        "weights",
+        "n",
+        "m",
+        "_csr_cache",
+        "_cumw_cache",
+        "_total_in_weight",
+    )
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+    ):
+        indptr = as_int_array(indptr, "indptr")
+        indices = as_int_array(indices, "indices", dtype=np.int32)
+        require(indptr.size >= 1, "indptr must have at least one entry")
+        require(indptr[0] == 0, "indptr must start at 0")
+        require(bool(np.all(np.diff(indptr) >= 0)), "indptr must be non-decreasing")
+        n = indptr.size - 1
+        m = int(indptr[-1])
+        require(indices.size == m, f"indices has {indices.size} entries, indptr implies {m}")
+        if m and (indices.min() < 0 or indices.max() >= n):
+            raise ValidationError("indices contain vertex ids outside [0, n)")
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            require(weights.shape == (m,), "weights must align with indices")
+            if m and (weights.min() < 0.0 or weights.max() > 1.0):
+                raise ValidationError("edge weights must lie in [0, 1]")
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self.n = n
+        self.m = m
+        self._csr_cache: Optional[tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]] = None
+        self._cumw_cache: Optional[np.ndarray] = None
+        self._total_in_weight: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        src,
+        dst,
+        n: Optional[int] = None,
+        weights=None,
+        dedupe: bool = True,
+    ) -> "DirectedGraph":
+        """Build a graph from parallel source/destination id arrays.
+
+        Edges are grouped by destination (CSC) and in-neighbor lists sorted
+        by source id.  With ``dedupe`` (default) parallel duplicate edges
+        are collapsed, keeping the first occurrence's weight.
+        """
+        src = as_int_array(src, "src", dtype=np.int64)
+        dst = as_int_array(dst, "dst", dtype=np.int64)
+        require(src.size == dst.size, "src and dst must have equal length")
+        if n is None:
+            n = int(max(src.max(initial=-1), dst.max(initial=-1)) + 1)
+        require(n >= 0, "n must be non-negative")
+        if src.size and (src.min() < 0 or dst.min() < 0):
+            raise ValidationError("vertex ids must be non-negative")
+        if src.size and (src.max() >= n or dst.max() >= n):
+            raise ValidationError(f"vertex ids must be < n={n}")
+        w = None if weights is None else np.asarray(weights, dtype=np.float64)
+        if w is not None:
+            require(w.shape == (src.size,), "weights must align with edges")
+
+        # sort by (dst, src): yields CSC grouping with sorted neighbor lists
+        key = dst * n + src
+        order = np.argsort(key, kind="stable")
+        src, dst = src[order], dst[order]
+        if w is not None:
+            w = w[order]
+        if dedupe and src.size:
+            keep = np.empty(src.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(key[order][1:], key[order][:-1], out=keep[1:])
+            src, dst = src[keep], dst[keep]
+            if w is not None:
+                w = w[keep]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(indptr, dst + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(indptr, src.astype(np.int32), w)
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    def in_degrees(self) -> np.ndarray:
+        """Per-vertex in-degree ``d_v^-`` as an int64 array."""
+        return np.diff(self.indptr)
+
+    def out_degrees(self) -> np.ndarray:
+        """Per-vertex out-degree as an int64 array."""
+        deg = np.zeros(self.n, dtype=np.int64)
+        np.add.at(deg, self.indices.astype(np.int64), 1)
+        return deg
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """In-neighbor ids of vertex ``v`` (sorted ascending)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def in_weights(self, v: int) -> np.ndarray:
+        """Activation probabilities aligned with :meth:`in_neighbors`."""
+        if self.weights is None:
+            raise ValidationError("graph has no edge weights assigned")
+        return self.weights[self.indptr[v] : self.indptr[v + 1]]
+
+    def has_weights(self) -> bool:
+        """Whether edge weights have been assigned."""
+        return self.weights is not None
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    def csr(self) -> tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """Out-edge (CSR) view: ``(indptr, indices, weights)``.
+
+        ``indices[indptr[u]:indptr[u+1]]`` lists the out-neighbors of
+        ``u``; the returned weights carry ``p_uv`` for edge ``(u, v)``.
+        Built once and cached.
+        """
+        if self._csr_cache is None:
+            src = self.indices.astype(np.int64)
+            dst = np.repeat(np.arange(self.n, dtype=np.int64), self.in_degrees())
+            order = np.argsort(src * self.n + dst, kind="stable")
+            out_indptr = np.zeros(self.n + 1, dtype=np.int64)
+            np.add.at(out_indptr, src + 1, 1)
+            np.cumsum(out_indptr, out=out_indptr)
+            out_indices = dst[order].astype(np.int32)
+            out_weights = None if self.weights is None else self.weights[order]
+            self._csr_cache = (out_indptr, out_indices, out_weights)
+        return self._csr_cache
+
+    def in_weight_cumsum(self) -> np.ndarray:
+        """Within-segment inclusive cumsum of in-edge weights.
+
+        Entry ``j`` in vertex ``v``'s slice holds
+        ``sum(weights[indptr[v] : j+1])`` — the quantity the LT sampler's
+        warp prefix scan computes on device (§3.3).  Cached.
+        """
+        if self.weights is None:
+            raise ValidationError("graph has no edge weights assigned")
+        if self._cumw_cache is None:
+            cum = np.cumsum(self.weights)
+            seg_start_total = np.zeros(self.n, dtype=np.float64)
+            starts = self.indptr[:-1]
+            nonempty = self.in_degrees() > 0
+            seg_start_total[nonempty] = np.where(
+                starts[nonempty] > 0, cum[starts[nonempty] - 1], 0.0
+            )
+            self._cumw_cache = cum - np.repeat(seg_start_total, self.in_degrees())
+        return self._cumw_cache
+
+    def total_in_weight(self) -> np.ndarray:
+        """Per-vertex sum of in-edge weights (LT stop probability is 1 - this)."""
+        if self.weights is None:
+            raise ValidationError("graph has no edge weights assigned")
+        if self._total_in_weight is None:
+            totals = np.zeros(self.n, dtype=np.float64)
+            deg = self.in_degrees()
+            cumw = self.in_weight_cumsum()
+            ends = self.indptr[1:] - 1
+            nonempty = deg > 0
+            totals[nonempty] = cumw[ends[nonempty]]
+            self._total_in_weight = totals
+        return self._total_in_weight
+
+    def with_weights(self, weights: np.ndarray) -> "DirectedGraph":
+        """Return a graph sharing this topology with new CSC-aligned weights."""
+        return DirectedGraph(self.indptr, self.indices, weights)
+
+    def reverse(self) -> "DirectedGraph":
+        """Return the transpose graph (every edge direction flipped)."""
+        csr_indptr, csr_indices, csr_weights = self.csr()
+        return DirectedGraph(csr_indptr.copy(), csr_indices.copy(),
+                             None if csr_weights is None else csr_weights.copy())
+
+    # ------------------------------------------------------------------
+    # memory accounting (raw CSC, the baseline for Fig. 4 / §4.2)
+    # ------------------------------------------------------------------
+    def nbytes_csc(self, include_weights: bool = True) -> int:
+        """Bytes to store the raw (unpacked) CSC arrays on device.
+
+        Matches the baselines' layout: 32-bit offsets and neighbor ids plus
+        32-bit float weights.
+        """
+        total = 4 * (self.n + 1) + 4 * self.m
+        if include_weights and self.weights is not None:
+            total += 4 * self.m
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        w = "weighted" if self.weights is not None else "unweighted"
+        return f"DirectedGraph(n={self.n}, m={self.m}, {w})"

@@ -1,0 +1,145 @@
+"""Synthetic directed-network generators.
+
+These stand in for the SNAP downloads the paper uses (no network access in
+this environment).  IMM's cost profile is governed by the in/out-degree
+distributions — they set the reverse-BFS branching behaviour, the RRR-set
+size tail and the singleton fraction — so the generators are
+degree-calibrated: heavy-tailed power laws for social/web graphs, a narrow
+distribution for the p2p network, and bidirectional low-degree graphs for
+the originally-undirected co-purchase/co-authorship networks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csc import DirectedGraph
+from repro.utils.rng import as_generator
+from repro.utils.validation import require
+
+
+def _powerlaw_degree_sequence(
+    n: int,
+    target_sum: int,
+    exponent: float,
+    rng: np.random.Generator,
+    max_degree: int | None = None,
+    zero_fraction: float = 0.0,
+) -> np.ndarray:
+    """Draw a degree sequence with a Pareto tail summing to ``target_sum``.
+
+    ``zero_fraction`` forces that share of vertices to degree 0, matching
+    networks (e.g. email-EuAll) where most vertices never receive edges —
+    the property behind the paper's singleton-RRR-set observation (§3.4).
+    """
+    require(n > 0, "need at least one vertex")
+    require(exponent > 1.0, "power-law exponent must exceed 1")
+    deg = np.floor(rng.pareto(exponent - 1.0, size=n) + 1.0)
+    cap = max_degree if max_degree is not None else max(4, int(4 * np.sqrt(n)))
+    np.minimum(deg, cap, out=deg)
+    if zero_fraction > 0.0:
+        zero_count = int(zero_fraction * n)
+        zero_idx = rng.choice(n, size=zero_count, replace=False)
+        deg[zero_idx] = 0.0
+    total = deg.sum()
+    if total > 0:
+        deg = np.floor(deg * (target_sum / total))
+    # distribute the rounding remainder over random nonzero-eligible vertices
+    deficit = int(target_sum - deg.sum())
+    if deficit > 0:
+        eligible = np.flatnonzero(deg > 0) if zero_fraction > 0 else np.arange(n)
+        if eligible.size == 0:
+            eligible = np.arange(n)
+        bump = rng.choice(eligible, size=deficit, replace=True)
+        np.add.at(deg, bump, 1)
+    elif deficit < 0:
+        nonzero = np.flatnonzero(deg > 0)
+        drop = rng.choice(nonzero, size=-deficit, replace=False)
+        deg[drop] -= 1
+    return deg.astype(np.int64)
+
+
+def powerlaw_configuration(
+    n: int,
+    m: int,
+    exponent_in: float = 2.2,
+    exponent_out: float = 2.2,
+    rng=None,
+    zero_in_fraction: float = 0.0,
+    bidirectional: bool = False,
+) -> DirectedGraph:
+    """Directed configuration model with power-law in/out degrees.
+
+    Stub-matching: out-stubs and in-stubs are generated from independent
+    power-law sequences (each summing to ``m``) and paired by a random
+    permutation; self-loops and duplicate edges are dropped, so the
+    realized edge count is slightly below ``m``.  With ``bidirectional``
+    every surviving edge is mirrored (undirected source networks).
+    """
+    gen = as_generator(rng)
+    require(n >= 2, "need at least two vertices")
+    require(m >= 1, "need at least one edge")
+    out_deg = _powerlaw_degree_sequence(n, m, exponent_out, gen)
+    in_deg = _powerlaw_degree_sequence(n, m, exponent_in, gen, zero_fraction=zero_in_fraction)
+    src = np.repeat(np.arange(n, dtype=np.int64), out_deg)
+    dst = np.repeat(np.arange(n, dtype=np.int64), in_deg)
+    gen.shuffle(dst)
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    if bidirectional:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+    return DirectedGraph.from_edges(src, dst, n=n)
+
+
+def erdos_renyi_directed(
+    n: int,
+    m: int,
+    rng=None,
+    bidirectional: bool = False,
+) -> DirectedGraph:
+    """G(n, m)-style directed graph: ``m`` edges sampled uniformly.
+
+    Produces the narrow, near-Poisson degree distribution of engineered
+    overlays such as p2p-Gnutella.
+    """
+    gen = as_generator(rng)
+    require(n >= 2, "need at least two vertices")
+    # oversample to compensate for dropped self-loops/duplicates
+    draw = int(m * 1.1) + 16
+    src = gen.integers(0, n, size=draw, dtype=np.int64)
+    dst = gen.integers(0, n, size=draw, dtype=np.int64)
+    keep = src != dst
+    src, dst = src[keep][:m], dst[keep][:m]
+    if bidirectional:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+    return DirectedGraph.from_edges(src, dst, n=n)
+
+
+def powerlaw_cluster_directed(
+    n: int,
+    m: int,
+    exponent: float = 2.4,
+    hub_fraction: float = 0.02,
+    rng=None,
+) -> DirectedGraph:
+    """Hub-and-spoke power-law graph approximating web-graph structure.
+
+    A small hub set receives a disproportionate share of in-edges (web
+    pages pointed at by many others) while ordinary vertices link both to
+    hubs and to random neighbors, giving the deep, skewed reverse
+    traversals web graphs exhibit under IC.
+    """
+    gen = as_generator(rng)
+    require(n >= 4, "need at least four vertices")
+    n_hubs = max(1, int(hub_fraction * n))
+    hubs = gen.choice(n, size=n_hubs, replace=False)
+    m_hub = m // 3
+    m_rest = m - m_hub
+    hub_dst = gen.choice(hubs, size=m_hub)
+    hub_src = gen.integers(0, n, size=m_hub, dtype=np.int64)
+    base = powerlaw_configuration(n, m_rest, exponent, exponent, gen)
+    base_dst = np.repeat(np.arange(n, dtype=np.int64), base.in_degrees())
+    src = np.concatenate([base.indices.astype(np.int64), hub_src])
+    dst = np.concatenate([base_dst, hub_dst])
+    keep = src != dst
+    return DirectedGraph.from_edges(src[keep], dst[keep], n=n)

@@ -1,0 +1,88 @@
+"""Edge-weight assignment for the IC and LT diffusion models.
+
+The paper (§2.1) studies unweighted SNAP networks preprocessed with the
+weighted-cascade convention of Kempe et al.: every in-edge of ``v`` gets
+``p_uv = 1 / d_v^-``.  Under IC this keeps reverse traversals near the
+critical branching factor (bounded RRR sets); under LT the in-weights of
+each vertex then sum to exactly 1.  Alternative schemes cover the paper's
+future-work item (IC with random edge weights) and the trivalency model
+common in the IM literature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csc import DirectedGraph
+from repro.utils.errors import ValidationError
+from repro.utils.rng import as_generator
+
+IC_SCHEMES = ("indegree", "uniform_random", "trivalency", "constant")
+LT_SCHEMES = ("indegree", "random_normalized")
+
+
+def assign_ic_weights(
+    graph: DirectedGraph,
+    scheme: str = "indegree",
+    rng=None,
+    p: float = 0.1,
+) -> DirectedGraph:
+    """Return a copy of ``graph`` with IC activation probabilities.
+
+    Schemes
+    -------
+    ``indegree``
+        ``p_uv = 1 / d_v^-`` (the paper's setting).
+    ``uniform_random``
+        ``p_uv ~ U(0, p)`` — the paper's future-work extension.
+    ``trivalency``
+        ``p_uv`` drawn uniformly from ``{0.1, 0.01, 0.001}``.
+    ``constant``
+        ``p_uv = p`` for every edge.
+    """
+    if scheme not in IC_SCHEMES:
+        raise ValidationError(f"unknown IC weight scheme {scheme!r}; choose from {IC_SCHEMES}")
+    if scheme == "indegree":
+        deg = graph.in_degrees()
+        w = np.repeat(1.0 / np.maximum(deg, 1), deg).astype(np.float64)
+    elif scheme == "uniform_random":
+        w = as_generator(rng).uniform(0.0, p, size=graph.m)
+    elif scheme == "trivalency":
+        w = as_generator(rng).choice([0.1, 0.01, 0.001], size=graph.m)
+    else:  # constant
+        if not 0.0 <= p <= 1.0:
+            raise ValidationError(f"constant probability must be in [0,1], got {p}")
+        w = np.full(graph.m, float(p))
+    return graph.with_weights(w)
+
+
+def assign_lt_weights(
+    graph: DirectedGraph,
+    scheme: str = "indegree",
+    rng=None,
+) -> DirectedGraph:
+    """Return a copy of ``graph`` with LT edge weights (in-sums ≤ 1).
+
+    Schemes
+    -------
+    ``indegree``
+        ``p_uv = 1 / d_v^-`` so each vertex's in-weights sum to exactly 1
+        (the paper's setting).
+    ``random_normalized``
+        Random positive weights normalized so each in-sum is a uniform
+        random value in (0, 1].
+    """
+    if scheme not in LT_SCHEMES:
+        raise ValidationError(f"unknown LT weight scheme {scheme!r}; choose from {LT_SCHEMES}")
+    deg = graph.in_degrees()
+    if scheme == "indegree":
+        w = np.repeat(1.0 / np.maximum(deg, 1), deg).astype(np.float64)
+    else:
+        gen = as_generator(rng)
+        raw = gen.uniform(0.1, 1.0, size=graph.m)
+        sums = np.zeros(graph.n)
+        np.add.at(sums, np.repeat(np.arange(graph.n), deg), raw)
+        target = gen.uniform(0.0, 1.0, size=graph.n)
+        scale = np.divide(target, sums, out=np.zeros(graph.n), where=sums > 0)
+        w = raw * np.repeat(scale, deg)
+    return graph.with_weights(w)

@@ -1,0 +1,38 @@
+"""The IMM algorithm (Tang et al. 2015) and classical baselines.
+
+:func:`run_imm` is the algorithmic heart of the reproduction — Alg. 1 of
+the paper: estimate the required number of RRR sets ``theta`` via the
+martingale lower-bound search, sample, and greedily select ``k`` seeds by
+maximum coverage.  The engines in :mod:`repro.engines` layer device cost
+models over this shared algorithmic core so all three produce identical
+seed quality (the paper's §4.1 observation).
+"""
+
+from repro.imm.bounds import (
+    BoundsConfig,
+    lambda_prime,
+    lambda_star,
+    log_binomial,
+)
+from repro.imm.celf import run_celf_greedy
+from repro.imm.imm import IMMResult, run_imm
+from repro.imm.oracle import InfluenceOracle
+from repro.imm.ris import run_ris
+from repro.imm.seed_selection import SelectionResult, select_seeds
+from repro.imm.tim import TIMResult, run_tim
+
+__all__ = [
+    "BoundsConfig",
+    "IMMResult",
+    "InfluenceOracle",
+    "SelectionResult",
+    "TIMResult",
+    "lambda_prime",
+    "lambda_star",
+    "log_binomial",
+    "run_celf_greedy",
+    "run_imm",
+    "run_ris",
+    "run_tim",
+    "select_seeds",
+]

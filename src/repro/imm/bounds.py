@@ -1,0 +1,87 @@
+"""Martingale sample-size bounds from Tang et al. 2015 (§2.2 of the paper).
+
+IMM guarantees a ``(1 - 1/e - eps)``-approximate seed set with probability
+at least ``1 - n^-ell`` once ``theta = lambda_star / OPT`` RRR sets are
+drawn; since OPT is unknown, the sampling phase searches for a lower bound
+``LB <= OPT`` using the cheaper ``lambda_prime`` threshold at geometrically
+decreasing guesses ``x = n / 2^i``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.errors import ValidationError
+
+
+def log_binomial(n: int, k: int) -> float:
+    """``log C(n, k)`` computed stably via log-gamma."""
+    if k < 0 or k > n:
+        raise ValidationError(f"binomial C({n}, {k}) undefined")
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    )
+
+
+def adjusted_ell(n: int, ell: float) -> float:
+    """Tang et al.'s inflation ``ell * (1 + ln 2 / ln n)``.
+
+    Compensates for the union bound over the estimation phases so the
+    overall failure probability stays below ``n^-ell``.
+    """
+    if n < 2:
+        raise ValidationError("need n >= 2 for the bound adjustment")
+    return ell * (1.0 + math.log(2) / math.log(n))
+
+
+def lambda_prime(n: int, k: int, eps_prime: float, ell: float) -> float:
+    """Sampling-phase threshold lambda' (Tang et al., eq. for theta_i).
+
+    ``theta_i = lambda' / x_i`` RRR sets suffice to test the guess
+    ``OPT >= x_i`` with failure probability ``n^-ell / log2(n)``.
+    """
+    if eps_prime <= 0:
+        raise ValidationError("eps_prime must be positive")
+    log_term = log_binomial(n, k) + ell * math.log(n) + math.log(max(math.log2(n), 1.0))
+    return (2.0 + 2.0 * eps_prime / 3.0) * log_term * n / (eps_prime**2)
+
+
+def lambda_star(n: int, k: int, eps: float, ell: float) -> float:
+    """Final-phase constant lambda*; ``theta = lambda* / LB``."""
+    if eps <= 0:
+        raise ValidationError("eps must be positive")
+    e_frac = 1.0 - 1.0 / math.e
+    alpha = math.sqrt(ell * math.log(n) + math.log(2))
+    beta = math.sqrt(e_frac * (log_binomial(n, k) + ell * math.log(n) + math.log(2)))
+    return 2.0 * n * ((e_frac * alpha + beta) ** 2) / (eps**2)
+
+
+@dataclass(frozen=True)
+class BoundsConfig:
+    """Knobs of the theta computation.
+
+    ``theta_scale`` uniformly scales both thresholds; the library default
+    of 1.0 gives the paper's exact bounds, while the experiment harness
+    lowers it on scaled-down graphs so sweeps finish in CI time (recorded
+    per experiment in EXPERIMENTS.md).  ``max_theta`` is a hard safety cap.
+    """
+
+    ell: float = 1.0
+    theta_scale: float = 1.0
+    max_theta: int | None = None
+
+    def __post_init__(self):
+        if self.ell <= 0:
+            raise ValidationError("ell must be positive")
+        if self.theta_scale <= 0:
+            raise ValidationError("theta_scale must be positive")
+        if self.max_theta is not None and self.max_theta < 1:
+            raise ValidationError("max_theta must be >= 1")
+
+    def cap(self, theta: float) -> int:
+        """Apply scaling and the safety cap; always at least 1."""
+        value = int(math.ceil(theta * self.theta_scale))
+        if self.max_theta is not None:
+            value = min(value, self.max_theta)
+        return max(value, 1)

@@ -1,0 +1,118 @@
+"""Influence oracle: cheap ``E[I(S)]`` queries over one RRR sample.
+
+The RIS identity (``E[I(S)] = n * P(S hits a random RRR set)``) makes a
+sampled collection a reusable estimator: once ``theta`` sets are drawn,
+the expected influence of *any* candidate set is a coverage query — no
+forward simulation needed.  This is the "what-if" tool a practitioner
+wants after running IMM: compare the optimizer's seeds against a
+hand-picked marketing list, price an incremental seed, or bound the
+error of the estimate itself.
+
+Queries are served from an inverted index (vertex -> covering sets), so
+a single-seed query is O(count of that vertex) and marginal-gain chains
+reuse the covered mask.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.rrr.collection import RRRCollection
+from repro.utils.errors import ValidationError
+
+
+class InfluenceOracle:
+    """Estimates expected influence from a fixed RRR collection.
+
+    Parameters
+    ----------
+    collection:
+        Any RRR sample over the target graph (from the samplers, an IMM
+        run's ``result.collection``, or a checkpoint).
+    keep_rate:
+        Fraction of attempted sets the sampler kept — required when the
+        collection was drawn with source elimination, which conditions
+        coverage on set survival (see ``IMMResult.influence_estimate``).
+        1.0 (default) for vanilla samples.
+    includes_sources:
+        Whether each set still contains its own source.  When False
+        (source-eliminated samples) each seed's guaranteed
+        self-activation is added back to estimates.
+    """
+
+    def __init__(
+        self,
+        collection: RRRCollection,
+        keep_rate: float = 1.0,
+        includes_sources: bool = True,
+    ):
+        if collection.num_sets == 0:
+            raise ValidationError("oracle needs a non-empty collection")
+        if not 0.0 < keep_rate <= 1.0:
+            raise ValidationError("keep_rate must be in (0, 1]")
+        self.collection = collection
+        self.keep_rate = float(keep_rate)
+        self.includes_sources = bool(includes_sources)
+        order = np.argsort(collection.flat, kind="stable")
+        self._order = order
+        self._vert_starts = np.searchsorted(
+            collection.flat[order], np.arange(collection.n + 1)
+        )
+        self._set_of_position = (
+            np.searchsorted(collection.offsets, order, side="right") - 1
+        )
+
+    # -- queries ---------------------------------------------------------------
+    def sets_covered_by(self, seeds) -> np.ndarray:
+        """Boolean mask over sets: which does ``seeds`` intersect?"""
+        seeds = np.unique(np.asarray(seeds, dtype=np.int64))
+        if seeds.size and (seeds.min() < 0 or seeds.max() >= self.collection.n):
+            raise ValidationError("seed ids out of range")
+        covered = np.zeros(self.collection.num_sets, dtype=bool)
+        for v in seeds:
+            lo, hi = self._vert_starts[v], self._vert_starts[v + 1]
+            covered[self._set_of_position[lo:hi]] = True
+        return covered
+
+    def spread(self, seeds) -> float:
+        """Estimated ``E[I(S)]`` of the seed set."""
+        seeds = np.unique(np.asarray(seeds, dtype=np.int64))
+        covered = self.sets_covered_by(seeds)
+        base = self.collection.n * covered.mean() * self.keep_rate
+        if not self.includes_sources:
+            base += seeds.size
+        return float(base)
+
+    def marginal_gain(self, seeds, candidate: int) -> float:
+        """Estimated extra influence from adding ``candidate`` to ``seeds``."""
+        return self.spread(list(np.atleast_1d(seeds)) + [int(candidate)]) - self.spread(seeds)
+
+    def spread_stderr(self, seeds) -> float:
+        """Standard error of :meth:`spread` (binomial coverage noise).
+
+        ``n * keep_rate * sqrt(F(1-F)/theta)`` — the Monte-Carlo noise
+        floor of the estimate; does not include the bias terms discussed
+        in docs/algorithms.md.
+        """
+        covered = self.sets_covered_by(seeds)
+        f = covered.mean()
+        theta = self.collection.num_sets
+        return float(
+            self.collection.n * self.keep_rate * math.sqrt(max(f * (1 - f), 0.0) / theta)
+        )
+
+    @classmethod
+    def from_imm_result(cls, result) -> "InfluenceOracle":
+        """Build the oracle from an :class:`~repro.imm.imm.IMMResult`,
+        inheriting its source-elimination accounting."""
+        keep_rate = 1.0
+        if result.eliminate_sources and result.trace.attempted:
+            keep_rate = result.trace.kept / result.trace.attempted
+        return cls(
+            result.collection,
+            keep_rate=keep_rate,
+            includes_sources=not result.eliminate_sources,
+        )

@@ -1,0 +1,151 @@
+"""TIM/TIM+ sample-size estimation (Tang et al. 2014) — IMM's predecessor.
+
+§2.2 of the paper: "Tang et al. proposed a two-phase influence
+maximization algorithm [TIM] ... They later improved upon this work by
+developing the IMM algorithm ... a tighter lower bound for the number of
+RRR sets."  Implementing TIM's KPT estimation alongside IMM lets the
+benchmarks show that gap directly: same guarantee, substantially more
+RRR sets.
+
+TIM estimates ``KPT = E[influence of a size-k seed set chosen by a
+certain randomized rule]``:
+
+* for a sampled RRR set ``R``, ``kappa(R) = 1 - (1 - w(R)/m)^k`` where
+  ``w(R)`` is the number of in-edges incident to R's vertices;
+* geometric search over guesses ``KPT >= n / 2^i`` with sample sizes
+  growing as ``2^i`` until the empirical mean of kappa crosses the guess.
+
+The final sample count is ``theta = lambda_TIM / KPT`` with
+``lambda_TIM = (8 + 2 eps) n (ell log n + log C(n,k) + log 2) / eps^2``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.csc import DirectedGraph
+from repro.imm.bounds import BoundsConfig, log_binomial
+from repro.imm.seed_selection import SelectionResult, select_seeds
+from repro.rrr import get_sampler
+from repro.rrr.collection import RRRCollection
+from repro.utils.errors import ValidationError
+from repro.utils.rng import as_generator
+
+
+@dataclass
+class TIMResult:
+    """Seeds plus the KPT estimate and sample count TIM arrived at."""
+
+    seeds: np.ndarray
+    selection: SelectionResult
+    collection: RRRCollection
+    kpt: float
+    theta: int
+
+
+def lambda_tim(n: int, k: int, eps: float, ell: float) -> float:
+    """TIM's sample-size constant (looser than IMM's lambda_star)."""
+    if eps <= 0:
+        raise ValidationError("eps must be positive")
+    return (
+        (8.0 + 2.0 * eps)
+        * n
+        * (ell * math.log(n) + log_binomial(n, k) + math.log(2))
+        / (eps**2)
+    )
+
+
+def _kappa(collection: RRRCollection, graph: DirectedGraph, k: int) -> np.ndarray:
+    """``kappa(R) = 1 - (1 - w(R)/m)^k`` for every set in the collection."""
+    deg = graph.in_degrees().astype(np.float64)
+    sizes = collection.sizes()
+    w = np.zeros(collection.num_sets, dtype=np.float64)
+    set_ids = np.repeat(np.arange(collection.num_sets), sizes)
+    np.add.at(w, set_ids, deg[collection.flat])
+    return 1.0 - (1.0 - np.minimum(w / max(graph.m, 1), 1.0)) ** k
+
+
+def estimate_kpt(
+    graph: DirectedGraph,
+    k: int,
+    ell: float = 1.0,
+    model: str = "IC",
+    rng=None,
+    theta_scale: float = 1.0,
+) -> tuple[float, RRRCollection]:
+    """TIM Algorithm 2: geometric search for a KPT lower bound.
+
+    Returns the estimate and the RRR sets drawn along the way (TIM
+    reuses them toward the final sample).
+    """
+    gen = as_generator(rng)
+    sampler = get_sampler(model)
+    n = graph.n
+    if n < 2:
+        raise ValidationError("need at least two vertices")
+    log_n = math.log(n)
+    pieces: list[RRRCollection] = []
+    drawn = 0
+    for i in range(1, max(1, int(math.log2(n))) + 1):
+        c_i = int(math.ceil((6.0 * ell * log_n + 6.0 * math.log(max(math.log2(n), 1.0)))
+                            * (2.0**i) * theta_scale))
+        c_i = max(c_i, 1)
+        if c_i > drawn:
+            piece, _ = sampler(graph, c_i - drawn, rng=gen)
+            pieces.append(piece)
+            drawn = c_i
+        from repro.imm.imm import _concat
+
+        collection = _concat(pieces, n)
+        pieces = [collection]
+        kappa = _kappa(collection.prefix(c_i), graph, k)
+        if kappa.mean() > 1.0 / (2.0**i):
+            return n * float(kappa.mean()) / 2.0, collection
+    return 1.0, pieces[0] if pieces else RRRCollection(
+        np.empty(0, dtype=np.int32), np.zeros(1, dtype=np.int64), n,
+        sources=np.empty(0, dtype=np.int64),
+    )
+
+
+def run_tim(
+    graph: DirectedGraph,
+    k: int,
+    epsilon: float,
+    model: str = "IC",
+    rng=None,
+    bounds: BoundsConfig | None = None,
+) -> TIMResult:
+    """Run TIM end to end: KPT estimation, sampling, greedy selection.
+
+    Same approximation guarantee as IMM; the point of having it here is
+    the *theta* comparison (see ``bench_extension_tim_vs_imm``).
+    """
+    if graph.weights is None:
+        raise ValidationError("run_tim requires a weighted graph")
+    if not 1 <= k <= graph.n:
+        raise ValidationError(f"k must be in [1, n], got {k}")
+    if not 0.0 < epsilon < 1.0:
+        raise ValidationError("epsilon must be in (0, 1)")
+    bounds = bounds or BoundsConfig()
+    gen = as_generator(rng)
+    kpt, collection = estimate_kpt(
+        graph, k, bounds.ell, model, gen, theta_scale=bounds.theta_scale
+    )
+    theta = bounds.cap(lambda_tim(graph.n, k, epsilon, bounds.ell) / max(kpt, 1.0))
+    if theta > collection.num_sets:
+        sampler = get_sampler(model)
+        extra, _ = sampler(graph, theta - collection.num_sets, rng=gen)
+        from repro.imm.imm import _concat
+
+        collection = _concat([collection, extra], graph.n)
+    selection = select_seeds(collection, k)
+    return TIMResult(
+        seeds=selection.seeds,
+        selection=selection,
+        collection=collection,
+        kpt=kpt,
+        theta=theta,
+    )

@@ -1,0 +1,234 @@
+"""The RRR store: flat array R, offsets O, frequency counts C (§3.2).
+
+Vertices within each set are kept sorted ascending — the invariant the
+paper introduces so the seed-selection phase can binary-search each set
+(§3.2, "we add them in ascending order by vertex ID").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.encoding.bitpack import PackedArray, pack, required_bits
+from repro.encoding.memory import MemoryReport
+from repro.utils.errors import ValidationError
+from repro.utils.validation import require
+
+
+class RRRCollection:
+    """Immutable collection of RRR sets over vertices ``0..n-1``.
+
+    Attributes
+    ----------
+    flat:
+        int32 array concatenating all sets (the paper's ``R``).
+    offsets:
+        int64 array of ``num_sets + 1`` boundaries (the paper's ``O``).
+    counts:
+        int64 array of per-vertex occurrence counts (the paper's ``C``).
+    sources:
+        Optional int64 array of the source vertex each set was rooted at
+        (kept for diagnostics and post-hoc source elimination).
+    """
+
+    __slots__ = ("flat", "offsets", "counts", "n", "sources")
+
+    def __init__(self, flat, offsets, n: int, sources=None, check: bool = True):
+        flat = np.asarray(flat, dtype=np.int32)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        require(offsets.size >= 1 and offsets[0] == 0, "offsets must start at 0")
+        require(int(offsets[-1]) == flat.size, "offsets must end at len(flat)")
+        if check and flat.size:
+            if flat.min() < 0 or flat.max() >= n:
+                raise ValidationError("RRR elements out of vertex range")
+            if np.any(np.diff(offsets) < 0):
+                raise ValidationError("offsets must be non-decreasing")
+        self.flat = flat
+        self.offsets = offsets
+        self.n = int(n)
+        self.sources = None if sources is None else np.asarray(sources, dtype=np.int64)
+        counts = np.bincount(flat, minlength=n).astype(np.int64)
+        self.counts = counts
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_sets(cls, sets: Iterable, n: int, sources=None) -> "RRRCollection":
+        """Build from an iterable of per-set vertex arrays (sorted on entry)."""
+        arrays = [np.sort(np.asarray(s, dtype=np.int32)) for s in sets]
+        sizes = np.asarray([a.size for a in arrays], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        flat = (
+            np.concatenate(arrays) if arrays else np.empty(0, dtype=np.int32)
+        )
+        return cls(flat, offsets, n, sources=sources)
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def num_sets(self) -> int:
+        return self.offsets.size - 1
+
+    @property
+    def total_elements(self) -> int:
+        return self.flat.size
+
+    def sizes(self) -> np.ndarray:
+        """Per-set sizes."""
+        return np.diff(self.offsets)
+
+    def set_at(self, i: int) -> np.ndarray:
+        """The sorted vertex array of set ``i``."""
+        return self.flat[self.offsets[i] : self.offsets[i + 1]]
+
+    def singleton_fraction(self) -> float:
+        """Fraction of sets containing exactly one vertex (§3.4)."""
+        if self.num_sets == 0:
+            return 0.0
+        return float(np.mean(self.sizes() == 1))
+
+    def empty_fraction(self) -> float:
+        """Fraction of zero-length sets."""
+        if self.num_sets == 0:
+            return 0.0
+        return float(np.mean(self.sizes() == 0))
+
+    def prefix(self, num_sets: int) -> "RRRCollection":
+        """A view-like collection over the first ``num_sets`` sets.
+
+        Used by the Fig. 3 scaling experiment: one large sample is drawn
+        once, then truncated to each sweep point.
+        """
+        if num_sets < 0 or num_sets > self.num_sets:
+            raise ValidationError(
+                f"prefix of {num_sets} sets out of range (have {self.num_sets})"
+            )
+        end = int(self.offsets[num_sets])
+        sources = None if self.sources is None else self.sources[:num_sets]
+        return RRRCollection(
+            self.flat[:end], self.offsets[: num_sets + 1], self.n,
+            sources=sources, check=False,
+        )
+
+    def sets_containing(self, v: int) -> np.ndarray:
+        """Ids of sets that contain vertex ``v`` (vectorized membership).
+
+        Host-side equivalent of Alg. 3's per-set binary search: positions
+        of ``v`` in the flat store are mapped back to set ids through the
+        offset array.
+        """
+        positions = np.flatnonzero(self.flat == v)
+        return np.searchsorted(self.offsets, positions, side="right") - 1
+
+    def coverage(self, seed_set) -> float:
+        """Fraction of sets intersecting ``seed_set`` (IMM's F_R(S))."""
+        if self.num_sets == 0:
+            return 0.0
+        seeds = np.unique(np.asarray(seed_set, dtype=np.int64))
+        member = np.isin(self.flat, seeds)
+        covered_sets = np.unique(
+            np.searchsorted(self.offsets, np.flatnonzero(member), side="right") - 1
+        )
+        return covered_sets.size / self.num_sets
+
+    # -- memory accounting -----------------------------------------------------
+    def nbytes_raw(self) -> int:
+        """Bytes of the unpacked device layout: 32-bit R elements, 64-bit
+        offsets, 32-bit counts (the baselines' representation)."""
+        return 4 * self.total_elements + 8 * (self.num_sets + 1) + 4 * self.n
+
+    def packed(self, container_bits: int = 32) -> tuple[PackedArray, PackedArray]:
+        """Log-encode R and O; returns ``(packed_R, packed_O)``."""
+        r_bits = required_bits(max(self.n - 1, 0))
+        o_bits = required_bits(max(self.total_elements, 1))
+        return (
+            pack(self.flat, n_bits=r_bits, container_bits=container_bits),
+            pack(self.offsets, n_bits=o_bits, container_bits=container_bits),
+        )
+
+    def nbytes_packed(self, container_bits: int = 32) -> int:
+        """Bytes of the log-encoded layout (counts stay unpacked: they are
+        mutated by atomics during selection)."""
+        packed_r, packed_o = self.packed(container_bits)
+        return packed_r.nbytes_packed + packed_o.nbytes_packed + 4 * self.n
+
+    def memory_report(self, container_bits: int = 32) -> MemoryReport:
+        """Raw vs packed byte comparison for the RRR store (Fig. 4)."""
+        return MemoryReport("rrr", self.nbytes_raw(), self.nbytes_packed(container_bits))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RRRCollection(num_sets={self.num_sets}, elements={self.total_elements}, "
+            f"n={self.n})"
+        )
+
+
+class RRRBuilder:
+    """Accumulates sampler batches and finalizes into an :class:`RRRCollection`.
+
+    The streaming analogue of Alg. 2's atomic-offset append: each batch
+    arrives as an already-sorted flat segment plus per-set sizes.
+    """
+
+    def __init__(self, n: int):
+        self.n = int(n)
+        self._flat_chunks: list[np.ndarray] = []
+        self._size_chunks: list[np.ndarray] = []
+        self._source_chunks: list[np.ndarray] = []
+        self._num_sets = 0
+
+    @property
+    def num_sets(self) -> int:
+        return self._num_sets
+
+    def append_batch(self, flat: np.ndarray, sizes: np.ndarray, sources: np.ndarray) -> None:
+        """Append one sampler batch (flat already sid-major/vertex-sorted)."""
+        if int(sizes.sum()) != flat.size:
+            raise ValidationError("batch sizes do not sum to flat length")
+        if sizes.size != sources.size:
+            raise ValidationError("one source per set required")
+        self._flat_chunks.append(np.asarray(flat, dtype=np.int32))
+        self._size_chunks.append(np.asarray(sizes, dtype=np.int64))
+        self._source_chunks.append(np.asarray(sources, dtype=np.int64))
+        self._num_sets += sizes.size
+
+    def truncate_to(self, num_sets: int) -> None:
+        """Drop sets beyond ``num_sets`` (overshoot of the final batch)."""
+        if num_sets >= self._num_sets:
+            return
+        keep = num_sets
+        new_flat, new_sizes, new_sources = [], [], []
+        for flat, sizes, sources in zip(
+            self._flat_chunks, self._size_chunks, self._source_chunks
+        ):
+            if keep <= 0:
+                break
+            take = min(keep, sizes.size)
+            elem = int(sizes[:take].sum())
+            new_flat.append(flat[:elem])
+            new_sizes.append(sizes[:take])
+            new_sources.append(sources[:take])
+            keep -= take
+        self._flat_chunks, self._size_chunks = new_flat, new_sizes
+        self._source_chunks = new_sources
+        self._num_sets = num_sets
+
+    def finalize(self) -> RRRCollection:
+        """Concatenate all batches into the final collection."""
+        flat = (
+            np.concatenate(self._flat_chunks)
+            if self._flat_chunks
+            else np.empty(0, dtype=np.int32)
+        )
+        sizes = (
+            np.concatenate(self._size_chunks)
+            if self._size_chunks
+            else np.empty(0, dtype=np.int64)
+        )
+        sources = (
+            np.concatenate(self._source_chunks)
+            if self._source_chunks
+            else np.empty(0, dtype=np.int64)
+        )
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        return RRRCollection(flat, offsets, self.n, sources=sources, check=False)

@@ -1,0 +1,43 @@
+"""Post-hoc source-vertex elimination (§3.4), for ablation studies.
+
+The samplers apply elimination inline (discarding emptied sets before they
+count toward theta, which is where the speedup comes from); this module
+applies the same transform to an already-built collection so Figs. 5-6 can
+compare identical samples with and without the heuristic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rrr.collection import RRRCollection
+from repro.utils.errors import ValidationError
+
+
+def eliminate_sources_post_hoc(
+    collection: RRRCollection, drop_empty: bool = True
+) -> RRRCollection:
+    """Strip each set's source vertex; optionally drop emptied sets.
+
+    Requires the collection to carry per-set sources (samplers record
+    them).  Sets stay sorted because removing one element preserves order.
+    """
+    if collection.sources is None:
+        raise ValidationError("collection does not record per-set sources")
+    sizes = collection.sizes()
+    set_of_elem = np.repeat(np.arange(collection.num_sets, dtype=np.int64), sizes)
+    source_of_elem = collection.sources[set_of_elem]
+    keep_elem = collection.flat != source_of_elem.astype(np.int32)
+    new_flat = collection.flat[keep_elem]
+    new_sizes = np.bincount(
+        set_of_elem[keep_elem], minlength=collection.num_sets
+    )
+    new_sources = collection.sources
+    if drop_empty:
+        kept_sets = new_sizes > 0
+        keep_elem2 = kept_sets[np.repeat(np.arange(collection.num_sets), new_sizes)]
+        new_flat = new_flat[keep_elem2]
+        new_sizes = new_sizes[kept_sets]
+        new_sources = collection.sources[kept_sets]
+    offsets = np.concatenate([[0], np.cumsum(new_sizes)])
+    return RRRCollection(new_flat, offsets, collection.n, sources=new_sources, check=False)

@@ -1,0 +1,18 @@
+"""Shared utilities: RNG handling, error types, validation helpers."""
+
+from repro.utils.errors import (
+    DeviceOOMError,
+    GraphFormatError,
+    ReproError,
+    ValidationError,
+)
+from repro.utils.rng import as_generator, spawn_generators
+
+__all__ = [
+    "DeviceOOMError",
+    "GraphFormatError",
+    "ReproError",
+    "ValidationError",
+    "as_generator",
+    "spawn_generators",
+]

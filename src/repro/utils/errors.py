@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything library-specific with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate untouched.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (bad shape, dtype, range, ...)."""
+
+
+class GraphFormatError(ReproError, ValueError):
+    """An on-disk graph file could not be parsed."""
+
+
+class DeviceOOMError(ReproError, MemoryError):
+    """A simulated device allocation exceeded the device's global memory.
+
+    Mirrors a CUDA out-of-memory failure: the paper's Tables 2-5 report
+    ``OOM`` entries for gIM where its allocation pattern exhausts the GPU
+    while eIM's packed storage still fits.
+    """
+
+    def __init__(self, requested: int, in_use: int, capacity: int, label: str = ""):
+        self.requested = int(requested)
+        self.in_use = int(in_use)
+        self.capacity = int(capacity)
+        self.label = label
+        super().__init__(
+            f"simulated device OOM allocating {requested} B for {label!r}: "
+            f"{in_use} B already in use of {capacity} B capacity"
+        )

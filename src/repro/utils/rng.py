@@ -1,0 +1,40 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts ``rng`` as either an
+integer seed, ``None`` (fresh OS entropy) or an existing
+:class:`numpy.random.Generator`.  :func:`as_generator` normalizes the three
+forms; :func:`spawn_generators` derives independent child streams, which is
+how the simulated device hands a private stream to each block/warp so runs
+are reproducible regardless of scheduling order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | None | np.random.Generator"
+
+
+def as_generator(rng: "int | None | np.random.Generator") -> np.random.Generator:
+    """Normalize ``rng`` into a :class:`numpy.random.Generator`.
+
+    Passing an existing generator returns it unchanged (shared state);
+    passing an int seeds a fresh PCG64 stream; ``None`` draws OS entropy.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn_generators(rng: "int | None | np.random.Generator", n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators.
+
+    Uses the ``spawn`` protocol of the underlying bit generator's seed
+    sequence, which guarantees independence between children and from the
+    parent's future output.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    parent = as_generator(rng)
+    seed_seq = parent.bit_generator.seed_seq
+    return [np.random.Generator(np.random.PCG64(s)) for s in seed_seq.spawn(n)]

@@ -1,0 +1,34 @@
+"""Vectorized segment helpers shared by the samplers and simulators.
+
+These implement the "expand a frontier's adjacency slices without a Python
+loop" idiom: given per-segment start offsets and lengths, produce the flat
+concatenation of ``arange(start, start+length)`` for every segment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def segmented_arange(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``[arange(s, s+l) for s, l in zip(starts, lengths)]``.
+
+    Fully vectorized: O(total) with two ``repeat`` calls.  Zero-length
+    segments are skipped naturally.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    seg = np.repeat(np.arange(lengths.size, dtype=np.int64), lengths)
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(lengths) - lengths, lengths
+    )
+    return starts[seg] + within
+
+
+def segment_ids(lengths: np.ndarray) -> np.ndarray:
+    """Flat segment-id array: ``[0]*lengths[0] + [1]*lengths[1] + ...``."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    return np.repeat(np.arange(lengths.size, dtype=np.int64), lengths)

@@ -1,0 +1,70 @@
+"""Persistence for graphs and RRR collections (NumPy ``.npz``).
+
+Sampling at small epsilon is the expensive step of any IMM workflow;
+being able to checkpoint a collection — and to ship a weighted graph
+around without re-running generators — is basic operational hygiene for
+a library like this.  Formats are plain ``.npz`` archives with a
+``format`` tag and are stable across sessions.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.graphs.csc import DirectedGraph
+from repro.rrr.collection import RRRCollection
+from repro.utils.errors import ValidationError
+
+_GRAPH_FORMAT = "repro.graph.v1"
+_COLLECTION_FORMAT = "repro.rrr.v1"
+
+
+def save_graph(graph: DirectedGraph, path) -> None:
+    """Write a (possibly weighted) graph to ``path`` as ``.npz``."""
+    payload = {
+        "format": np.asarray(_GRAPH_FORMAT),
+        "indptr": graph.indptr,
+        "indices": graph.indices,
+    }
+    if graph.weights is not None:
+        payload["weights"] = graph.weights
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_graph(path) -> DirectedGraph:
+    """Load a graph written by :func:`save_graph`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        if str(data["format"]) != _GRAPH_FORMAT:
+            raise ValidationError(f"{path} is not a repro graph archive")
+        weights = data["weights"] if "weights" in data.files else None
+        return DirectedGraph(data["indptr"], data["indices"], weights)
+
+
+def save_collection(collection: RRRCollection, path) -> None:
+    """Checkpoint an RRR collection to ``path`` as ``.npz``."""
+    payload = {
+        "format": np.asarray(_COLLECTION_FORMAT),
+        "flat": collection.flat,
+        "offsets": collection.offsets,
+        "n": np.asarray(collection.n),
+    }
+    if collection.sources is not None:
+        payload["sources"] = collection.sources
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_collection(path) -> RRRCollection:
+    """Load a collection written by :func:`save_collection`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        if str(data["format"]) != _COLLECTION_FORMAT:
+            raise ValidationError(f"{path} is not a repro RRR archive")
+        sources = data["sources"] if "sources" in data.files else None
+        return RRRCollection(
+            data["flat"],
+            data["offsets"],
+            int(data["n"]),
+            sources=sources,
+            check=False,
+        )

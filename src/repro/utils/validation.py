@@ -1,0 +1,40 @@
+"""Small argument-validation helpers used across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def as_int_array(values, name: str, dtype=np.int64) -> np.ndarray:
+    """Coerce ``values`` to a 1-D integer ndarray, validating integrality."""
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be 1-D, got shape {arr.shape}")
+    if arr.size and not np.issubdtype(arr.dtype, np.integer):
+        if not np.all(np.equal(np.mod(arr, 1), 0)):
+            raise ValidationError(f"{name} must contain integers")
+    return arr.astype(dtype, copy=False)
+
+
+def check_probability(p: float, name: str) -> float:
+    """Validate that ``p`` lies in [0, 1]."""
+    p = float(p)
+    if not 0.0 <= p <= 1.0:
+        raise ValidationError(f"{name} must be in [0, 1], got {p}")
+    return p
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive."""
+    value = float(value)
+    if not value > 0:
+        raise ValidationError(f"{name} must be > 0, got {value}")
+    return value

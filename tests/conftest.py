@@ -1,0 +1,38 @@
+"""Shared fixtures: small deterministic graphs and experiment configs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import DirectedGraph, assign_ic_weights, assign_lt_weights
+from repro.graphs.generators import powerlaw_configuration
+
+
+@pytest.fixture
+def line_graph() -> DirectedGraph:
+    """0 -> 1 -> 2 -> 3 (CSC in-edges; deterministic cascades with p=1)."""
+    return DirectedGraph.from_edges([0, 1, 2], [1, 2, 3], n=4)
+
+
+@pytest.fixture
+def diamond_graph() -> DirectedGraph:
+    """0 -> {1, 2} -> 3: the classic union-probability example."""
+    return DirectedGraph.from_edges([0, 0, 1, 2], [1, 2, 3, 3], n=4)
+
+
+@pytest.fixture
+def small_ic_graph() -> DirectedGraph:
+    """A 300-vertex power-law graph with IC (1/d_in) weights."""
+    return assign_ic_weights(powerlaw_configuration(300, 1800, rng=123))
+
+
+@pytest.fixture
+def small_lt_graph() -> DirectedGraph:
+    """The same topology with LT weights."""
+    return assign_lt_weights(powerlaw_configuration(300, 1800, rng=123))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(99)

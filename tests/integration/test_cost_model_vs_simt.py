@@ -1,0 +1,75 @@
+"""Cross-validation: the analytic cost model's operation counts must
+agree with what the SIMT executor actually performs.
+
+The cost model charges cycles per operation class *assuming* certain
+counts (edges examined, queue pushes, binary-search probes).  The SIMT
+executor tallies the real counts while running the same kernels; here we
+check the assumptions, which is what makes the modeled speedup ratios
+trustworthy."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import assign_ic_weights
+from repro.graphs.generators import powerlaw_configuration
+from repro.gpu.simt import simt_sample_ic, simt_select_seeds
+from repro.rrr import sample_rrr_ic
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return assign_ic_weights(powerlaw_configuration(200, 1200, rng=17))
+
+
+def test_sampling_rng_draws_track_edges_examined(graph):
+    """Every examined edge costs one RNG draw in the model.  The SIMT
+    warp issues 32 draws per in-edge *chunk* (inactive lanes draw too),
+    so the tally must sit between the true edge count and
+    ``edges + 32 * dequeued_vertices`` (one partial chunk per vertex),
+    plus one thread-0 draw per set."""
+    theta = 300
+    coll, ops = simt_sample_ic(graph, theta, rng=1, warp_size=32)
+    _, batch_trace = sample_rrr_ic(graph, 30_000, rng=1)
+    mean_edges_per_set = batch_trace.edges_examined.mean()
+    expected_edges = mean_edges_per_set * theta
+    dequeued = coll.total_elements  # every stored vertex gets expanded once
+    lower = expected_edges * 0.7
+    upper = expected_edges * 1.4 + 32 * dequeued + theta
+    assert lower <= ops.rng_draws <= upper
+
+
+def test_sampling_atomics_track_set_sizes(graph):
+    """Enqueue + offset + C-update atomics must scale with stored
+    elements, as the queue/store cost formulas assume."""
+    theta = 300
+    coll, ops = simt_sample_ic(graph, theta, rng=2)
+    elements = coll.total_elements
+    # per element: 1 enqueue + 1 C-update; per set: 1 offset + 1 count
+    expected_min = 2 * elements
+    expected_max = 2 * elements + 3 * theta + elements
+    assert expected_min <= ops.atomics <= expected_max
+
+
+def test_selection_probe_depth_matches_model(graph):
+    """The thread-scan model charges ceil(log2(avg_size+2)) probes per
+    scanned set; the kernel's measured probes per scan must sit at or
+    below that (binary search exits early on hits)."""
+    coll, _ = sample_rrr_ic(graph, 800, rng=3)
+    result, ops = simt_select_seeds(coll, 5)
+    scans = result.stats.total_scans()
+    model_depth = np.ceil(np.log2(result.stats.avg_set_size + 2.0))
+    probes = ops.global_reads - scans - 5 * coll.n  # minus F probes & argmax
+    assert probes <= scans * (model_depth + 1)
+    assert probes >= scans * 0.5  # nonempty sets take at least one probe
+
+
+def test_sort_shuffle_budget(graph):
+    """The sort model charges ~size*log2(size)^2 comparator passes; the
+    SIMT tallies must stay within that envelope."""
+    theta = 200
+    coll, ops = simt_sample_ic(graph, theta, rng=4)
+    sizes = np.maximum(coll.sizes().astype(np.float64), 2.0)
+    logs = np.ceil(np.log2(sizes))
+    budget = float(np.sum(sizes * logs * logs))
+    # shuffles include the sort passes (dominant term here)
+    assert ops.shuffles <= budget * 1.5 + theta

@@ -1,0 +1,44 @@
+"""RIS identity: for any vertex set S, n * P(S hits a random RRR set)
+equals E[I(S)] — the theorem both RIS and IMM stand on.  Verified by
+cross-checking reverse sampling against forward Monte-Carlo simulation
+for both diffusion models."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion import estimate_spread
+from repro.graphs import assign_ic_weights, assign_lt_weights
+from repro.graphs.generators import powerlaw_configuration
+from repro.rrr import sample_rrr_ic, sample_rrr_lt
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return powerlaw_configuration(400, 2800, rng=77)
+
+
+@pytest.mark.parametrize("model", ["IC", "LT"])
+def test_ris_identity_for_seed_sets(topology, model):
+    if model == "IC":
+        graph = assign_ic_weights(topology)
+        coll, _ = sample_rrr_ic(graph, 40_000, rng=1)
+    else:
+        graph = assign_lt_weights(topology)
+        coll, _ = sample_rrr_lt(graph, 40_000, rng=1)
+    rng = np.random.default_rng(2)
+    for size in (1, 3, 8):
+        seeds = rng.choice(graph.n, size=size, replace=False)
+        ris = graph.n * coll.coverage(seeds)
+        mc = estimate_spread(graph, seeds, model, 1200, rng=rng)
+        assert ris == pytest.approx(mc, rel=0.2, abs=2.0), (model, size)
+
+
+def test_counts_rank_matches_influence_rank(topology):
+    """Vertices with higher RRR counts must have higher influence."""
+    graph = assign_ic_weights(topology)
+    coll, _ = sample_rrr_ic(graph, 40_000, rng=3)
+    order = np.argsort(coll.counts)
+    top, mid = int(order[-1]), int(order[graph.n // 2])
+    sp_top = estimate_spread(graph, [top], "IC", 800, rng=4)
+    sp_mid = estimate_spread(graph, [mid], "IC", 800, rng=4)
+    assert sp_top >= sp_mid

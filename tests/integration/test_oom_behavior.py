@@ -1,0 +1,53 @@
+"""Capacity-pressure behaviour: on the pressure device, gIM must run out
+of memory on the biggest workloads while eIM completes (the mechanism
+behind the paper's OOM table entries), and the OOM cells must render with
+the paper's ``OOM/<eIM seconds>`` convention."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.runner import compare_engines
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return ExperimentConfig(sweep_theta_scale=0.25)
+
+
+@pytest.mark.slow
+def test_gim_ooms_on_largest_dataset_eim_survives(cfg):
+    row = compare_engines(
+        "SL", 100, 0.05, "IC", cfg,
+        include_curipples=False,
+        device=cfg.device(pressure=True),
+        bounds=cfg.bounds(sweep=True),
+    )
+    assert row.gim.oom
+    assert not row.eim.oom
+    cell = row.table_cell_vs_gim()
+    assert cell.startswith("OOM/")
+    float(cell.split("/")[1])  # eIM seconds parse
+
+
+def test_no_oom_on_small_dataset_under_pressure(cfg):
+    row = compare_engines(
+        "WV", 100, 0.05, "IC", cfg,
+        include_curipples=False,
+        device=cfg.device(pressure=True),
+        bounds=cfg.bounds(sweep=True),
+    )
+    assert not row.gim.oom and not row.eim.oom
+
+
+def test_curipples_never_device_ooms(cfg):
+    """cuRipples offloads R to the host, so device capacity does not kill
+    it even where gIM dies (it just gets slower) — §2.3."""
+    row = compare_engines(
+        "CO", 100, 0.05, "IC", cfg,
+        include_curipples=True,
+        device=cfg.device(pressure=True),
+        bounds=cfg.bounds(sweep=True),
+    )
+    assert row.gim.oom
+    assert row.curipples is not None and not row.curipples.oom
+    assert not row.eim.oom

@@ -1,0 +1,65 @@
+"""Property tests for the log-encoding core: packing must be a lossless
+bijection at every width, and packed density can never fall below the
+information-theoretic bound."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.bitpack import pack, required_bits
+
+values_lists = st.lists(st.integers(min_value=0, max_value=2**31 - 1),
+                        min_size=0, max_size=200)
+
+
+@given(values_lists, st.sampled_from([32, 64]))
+@settings(max_examples=80, deadline=None)
+def test_roundtrip_is_identity(values, container_bits):
+    pa = pack(values, container_bits=container_bits)
+    assert list(pa.unpack()) == values
+
+
+@given(values_lists)
+@settings(max_examples=50, deadline=None)
+def test_packed_never_larger_than_raw_plus_container(values):
+    pa = pack(values)
+    # at most one container of padding beyond the bit-exact payload
+    assert pa.nbytes_packed * 8 < len(values) * pa.n_bits + 32 + 1 if values else True
+    assert pa.nbytes_packed <= pa.nbytes_raw + 4
+
+
+@given(values_lists.filter(lambda v: len(v) > 0))
+@settings(max_examples=50, deadline=None)
+def test_n_bits_is_minimal(values):
+    pa = pack(values)
+    assert pa.n_bits == required_bits(max(values))
+    assert max(values) < 2**pa.n_bits
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=2**15 - 1), min_size=1, max_size=64),
+    st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_set_element_matches_list_model(values, data):
+    """Random in-place writes behave exactly like writes to a plain list."""
+    pa = pack(values, n_bits=15)
+    model = list(values)
+    for _ in range(10):
+        i = data.draw(st.integers(0, len(values) - 1))
+        v = data.draw(st.integers(0, 2**15 - 1))
+        pa.set_element(i, v)
+        model[i] = v
+    assert list(pa.unpack()) == model
+
+
+@given(values_lists.filter(lambda v: len(v) > 1), st.data())
+@settings(max_examples=40, deadline=None)
+def test_gather_equals_unpack_subset(values, data):
+    pa = pack(values)
+    idx = data.draw(
+        st.lists(st.integers(0, len(values) - 1), min_size=1, max_size=20)
+    )
+    gathered = pa.gather(np.asarray(idx))
+    full = pa.unpack()
+    assert list(gathered) == [full[i] for i in idx]

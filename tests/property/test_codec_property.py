@@ -1,0 +1,77 @@
+"""Property tests for the alternative codecs: Huffman roundtrips and
+prefix-freedom on arbitrary inputs, bitmap roundtrips and consistent
+membership, fixed-point error bounds."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.bitmap import bitmap_encode
+from repro.encoding.fixedpoint import pack_fixed_point, unpack_fixed_point
+from repro.encoding.huffman import build_code, huffman_decode, huffman_encode
+from repro.rrr import RRRCollection
+
+int_arrays = st.lists(st.integers(0, 5000), min_size=1, max_size=300)
+
+
+@given(int_arrays)
+@settings(max_examples=50, deadline=None)
+def test_huffman_roundtrip(values):
+    enc = huffman_encode(values)
+    assert list(huffman_decode(enc)) == values
+
+
+@given(int_arrays)
+@settings(max_examples=50, deadline=None)
+def test_huffman_kraft(values):
+    code = build_code(np.asarray(values))
+    assert float(np.sum(2.0 ** -code.lengths)) <= 1.0 + 1e-9
+
+
+@given(int_arrays)
+@settings(max_examples=40, deadline=None)
+def test_huffman_never_beats_entropy(values):
+    """Payload bits >= empirical entropy (Shannon bound)."""
+    arr = np.asarray(values)
+    _, counts = np.unique(arr, return_counts=True)
+    p = counts / arr.size
+    entropy_bits = float(-np.sum(p * np.log2(p))) * arr.size
+    enc = huffman_encode(arr)
+    assert enc.total_bits >= entropy_bits - 1e-6
+
+
+N = 40
+sets_strategy = st.lists(
+    st.lists(st.integers(0, N - 1), min_size=0, max_size=30),
+    min_size=1, max_size=20,
+)
+
+
+@given(sets_strategy, st.booleans())
+@settings(max_examples=50, deadline=None)
+def test_bitmap_roundtrip(sets, force):
+    coll = RRRCollection.from_sets([sorted(set(s)) for s in sets], n=N)
+    enc = bitmap_encode(coll, force_bitmap=force)
+    for i in range(coll.num_sets):
+        assert np.array_equal(enc.set_at(i), coll.set_at(i))
+
+
+@given(sets_strategy, st.integers(0, N - 1))
+@settings(max_examples=50, deadline=None)
+def test_bitmap_membership_matches_sets(sets, v):
+    coll = RRRCollection.from_sets([sorted(set(s)) for s in sets], n=N)
+    enc = bitmap_encode(coll)
+    for i in range(coll.num_sets):
+        assert enc.contains(i, v) == (v in set(coll.set_at(i).tolist()))
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+             min_size=1, max_size=200),
+    st.integers(4, 24),
+)
+@settings(max_examples=50, deadline=None)
+def test_fixed_point_error_bound(values, bits):
+    packed = pack_fixed_point(values, bits=bits)
+    restored = unpack_fixed_point(packed)
+    assert float(np.abs(restored - np.asarray(values)).max()) <= 2.0**-bits + 1e-12

@@ -1,0 +1,67 @@
+"""Invariants of the RRR store: counts always equal occurrence totals,
+coverage is monotone in the seed set, packing roundtrips."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rrr import RRRCollection
+
+N = 20
+
+sets_strategy = st.lists(
+    st.lists(st.integers(0, N - 1), min_size=0, max_size=8),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _build(sets):
+    dedup = [sorted(set(s)) for s in sets]
+    return RRRCollection.from_sets(dedup, n=N), dedup
+
+
+@given(sets_strategy)
+@settings(max_examples=80, deadline=None)
+def test_counts_equal_occurrences(sets):
+    coll, dedup = _build(sets)
+    for v in range(N):
+        assert coll.counts[v] == sum(v in s for s in dedup)
+
+
+@given(sets_strategy, st.lists(st.integers(0, N - 1), max_size=6))
+@settings(max_examples=80, deadline=None)
+def test_coverage_matches_naive(sets, seeds):
+    coll, dedup = _build(sets)
+    expected = sum(bool(set(seeds) & set(s)) for s in dedup) / len(dedup)
+    assert coll.coverage(seeds) == expected
+
+
+@given(sets_strategy, st.lists(st.integers(0, N - 1), max_size=4))
+@settings(max_examples=50, deadline=None)
+def test_coverage_monotone(sets, seeds):
+    coll, _ = _build(sets)
+    smaller = coll.coverage(seeds[:-1] if seeds else [])
+    larger = coll.coverage(seeds)
+    assert larger >= smaller
+
+
+@given(sets_strategy)
+@settings(max_examples=50, deadline=None)
+def test_packed_roundtrip(sets):
+    coll, _ = _build(sets)
+    packed_r, packed_o = coll.packed()
+    assert np.array_equal(packed_r.unpack(), coll.flat)
+    assert np.array_equal(packed_o.unpack(), coll.offsets)
+    assert coll.nbytes_packed() <= coll.nbytes_raw() + 8
+
+
+@given(sets_strategy, st.integers(0, 30))
+@settings(max_examples=50, deadline=None)
+def test_prefix_consistency(sets, cut):
+    coll, dedup = _build(sets)
+    cut = min(cut, coll.num_sets)
+    pre = coll.prefix(cut)
+    assert pre.num_sets == cut
+    for i in range(cut):
+        assert list(pre.set_at(i)) == list(coll.set_at(i))

@@ -1,0 +1,82 @@
+"""Diffusion-simulator properties: seeds are always active, activations
+respect reachability, LT with explicit thresholds is deterministic."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffusion import simulate_ic, simulate_lt
+from repro.graphs import DirectedGraph
+
+N = 15
+
+
+@st.composite
+def graphs_and_seeds(draw):
+    n_edges = draw(st.integers(1, 50))
+    src = draw(st.lists(st.integers(0, N - 1), min_size=n_edges, max_size=n_edges))
+    dst = draw(st.lists(st.integers(0, N - 1), min_size=n_edges, max_size=n_edges))
+    keep = [i for i in range(n_edges) if src[i] != dst[i]] or [0]
+    if src[keep[0]] == dst[keep[0]]:
+        src[keep[0]], dst[keep[0]] = 0, 1
+    g = DirectedGraph.from_edges(
+        [src[i] for i in keep], [dst[i] for i in keep], n=N
+    )
+    deg = g.in_degrees()
+    w = np.repeat(1.0 / np.maximum(deg, 1), deg)
+    seeds = draw(st.lists(st.integers(0, N - 1), min_size=1, max_size=4))
+    return g.with_weights(w), sorted(set(seeds))
+
+
+@given(graphs_and_seeds(), st.integers(0, 1000))
+@settings(max_examples=50, deadline=None)
+def test_ic_seeds_active_and_within_reachable_set(case, seed):
+    graph, seeds = case
+    active = simulate_ic(graph, seeds, rng=seed)
+    assert all(active[s] for s in seeds)
+    # reachability closure bound: nothing outside the forward-reachable set
+    reachable = _forward_reachable(graph, seeds)
+    assert not np.any(active & ~reachable)
+
+
+@given(graphs_and_seeds(), st.integers(0, 1000))
+@settings(max_examples=50, deadline=None)
+def test_lt_seeds_active_and_within_reachable_set(case, seed):
+    graph, seeds = case
+    active = simulate_lt(graph, seeds, rng=seed)
+    assert all(active[s] for s in seeds)
+    reachable = _forward_reachable(graph, seeds)
+    assert not np.any(active & ~reachable)
+
+
+@given(graphs_and_seeds(), st.integers(0, 100))
+@settings(max_examples=30, deadline=None)
+def test_lt_deterministic_given_thresholds(case, seed):
+    graph, seeds = case
+    thresholds = np.random.default_rng(seed).random(N)
+    a = simulate_lt(graph, seeds, thresholds=thresholds)
+    b = simulate_lt(graph, seeds, thresholds=thresholds)
+    assert np.array_equal(a, b)
+
+
+@given(graphs_and_seeds())
+@settings(max_examples=30, deadline=None)
+def test_ic_with_probability_one_reaches_closure(case):
+    graph, seeds = case
+    sure = graph.with_weights(np.ones(graph.m))
+    active = simulate_ic(sure, seeds, rng=0)
+    assert np.array_equal(active, _forward_reachable(graph, seeds))
+
+
+def _forward_reachable(graph, seeds) -> np.ndarray:
+    csr_indptr, csr_indices, _ = graph.csr()
+    reach = np.zeros(graph.n, dtype=bool)
+    stack = list(seeds)
+    reach[list(seeds)] = True
+    while stack:
+        u = stack.pop()
+        for v in csr_indices[csr_indptr[u]: csr_indptr[u + 1]]:
+            if not reach[v]:
+                reach[v] = True
+                stack.append(int(v))
+    return reach

@@ -1,0 +1,66 @@
+"""Graph-representation properties: CSC construction is canonical under
+edge permutation, CSC and CSR views describe the same edge set, degrees
+are conserved."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import DirectedGraph
+
+N = 12
+
+edges_strategy = st.lists(
+    st.tuples(st.integers(0, N - 1), st.integers(0, N - 1)),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(edges_strategy, st.randoms())
+@settings(max_examples=60, deadline=None)
+def test_construction_canonical_under_permutation(edges, rnd):
+    shuffled = list(edges)
+    rnd.shuffle(shuffled)
+    a = DirectedGraph.from_edges([e[0] for e in edges], [e[1] for e in edges], n=N)
+    b = DirectedGraph.from_edges(
+        [e[0] for e in shuffled], [e[1] for e in shuffled], n=N
+    )
+    assert np.array_equal(a.indptr, b.indptr)
+    assert np.array_equal(a.indices, b.indices)
+
+
+@given(edges_strategy)
+@settings(max_examples=60, deadline=None)
+def test_csc_matches_edge_set(edges):
+    g = DirectedGraph.from_edges([e[0] for e in edges], [e[1] for e in edges], n=N)
+    expected = set(edges)
+    dst = np.repeat(np.arange(N), g.in_degrees())
+    got = set(zip(g.indices.tolist(), dst.tolist()))
+    assert got == expected
+
+
+@given(edges_strategy)
+@settings(max_examples=60, deadline=None)
+def test_degree_conservation(edges):
+    g = DirectedGraph.from_edges([e[0] for e in edges], [e[1] for e in edges], n=N)
+    assert g.in_degrees().sum() == g.m
+    assert g.out_degrees().sum() == g.m
+
+
+@given(edges_strategy)
+@settings(max_examples=40, deadline=None)
+def test_double_reverse_is_identity(edges):
+    g = DirectedGraph.from_edges([e[0] for e in edges], [e[1] for e in edges], n=N)
+    rr = g.reverse().reverse()
+    assert np.array_equal(rr.indptr, g.indptr)
+    assert np.array_equal(rr.indices, g.indices)
+
+
+@given(edges_strategy)
+@settings(max_examples=40, deadline=None)
+def test_neighbor_lists_sorted_unique(edges):
+    g = DirectedGraph.from_edges([e[0] for e in edges], [e[1] for e in edges], n=N)
+    for v in range(N):
+        nbrs = g.in_neighbors(v)
+        assert np.all(np.diff(nbrs) > 0)

@@ -1,0 +1,77 @@
+"""Sampler invariants on randomly generated weighted graphs: sets sorted
+and duplicate-free, sources present (absent under elimination), trace
+accounting consistent with the stored collection."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import DirectedGraph
+from repro.rrr import sample_rrr_ic, sample_rrr_lt
+
+N = 25
+
+
+@st.composite
+def weighted_graphs(draw):
+    n_edges = draw(st.integers(1, 80))
+    src = draw(
+        st.lists(st.integers(0, N - 1), min_size=n_edges, max_size=n_edges)
+    )
+    dst = draw(
+        st.lists(st.integers(0, N - 1), min_size=n_edges, max_size=n_edges)
+    )
+    keep = [i for i in range(n_edges) if src[i] != dst[i]]
+    if not keep:
+        keep = [0]
+        src[0], dst[0] = 0, 1
+    g = DirectedGraph.from_edges([src[i] for i in keep], [dst[i] for i in keep], n=N)
+    # degree-based weights keep both models in their standard regime
+    deg = g.in_degrees()
+    w = np.repeat(1.0 / np.maximum(deg, 1), deg)
+    return g.with_weights(w)
+
+
+@given(weighted_graphs(), st.integers(1, 60), st.integers(0, 100))
+@settings(max_examples=40, deadline=None)
+def test_ic_sets_sorted_unique_with_source(graph, num_sets, seed):
+    coll, trace = sample_rrr_ic(graph, num_sets, rng=seed)
+    assert coll.num_sets == num_sets
+    assert trace.kept >= num_sets
+    for i in range(num_sets):
+        s = coll.set_at(i)
+        assert np.all(np.diff(s) > 0)
+        assert coll.sources[i] in s
+        assert s.min() >= 0 and s.max() < N
+
+
+@given(weighted_graphs(), st.integers(1, 60), st.integers(0, 100))
+@settings(max_examples=40, deadline=None)
+def test_lt_sets_sorted_unique_with_source(graph, num_sets, seed):
+    coll, _ = sample_rrr_lt(graph, num_sets, rng=seed)
+    assert coll.num_sets == num_sets
+    for i in range(num_sets):
+        s = coll.set_at(i)
+        assert np.all(np.diff(s) > 0)
+        assert coll.sources[i] in s
+
+
+@given(weighted_graphs(), st.integers(1, 40), st.integers(0, 50))
+@settings(max_examples=30, deadline=None)
+def test_elimination_strips_sources_everywhere(graph, num_sets, seed):
+    coll, trace = sample_rrr_ic(
+        graph, num_sets, rng=seed, eliminate_sources=True
+    )
+    assert coll.num_sets == num_sets
+    assert coll.empty_fraction() == 0.0
+    for i in range(num_sets):
+        assert coll.sources[i] not in coll.set_at(i)
+    assert trace.discarded_empty == trace.attempted - trace.kept
+
+
+@given(weighted_graphs(), st.integers(1, 40), st.integers(0, 50))
+@settings(max_examples=30, deadline=None)
+def test_counts_consistent_with_flat(graph, num_sets, seed):
+    coll, _ = sample_rrr_ic(graph, num_sets, rng=seed)
+    recount = np.bincount(coll.flat, minlength=N)
+    assert np.array_equal(recount, coll.counts)

@@ -1,0 +1,44 @@
+"""List-scheduling bounds: the makespan always sits between the ideal
+balance and Graham's (2 - 1/m) bound, and adding workers never hurts."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.scheduler import makespan
+
+costs_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    min_size=1, max_size=300,
+)
+
+
+@given(costs_strategy, st.integers(1, 32))
+@settings(max_examples=80, deadline=None)
+def test_graham_bounds(costs, workers):
+    arr = np.asarray(costs)
+    ms = makespan(arr, workers)
+    ideal = arr.sum() / workers
+    assert ms >= max(ideal, arr.max()) - 1e-6
+    assert ms <= ideal + arr.max() + 1e-6  # list scheduling guarantee
+
+
+@given(costs_strategy, st.integers(1, 16))
+@settings(max_examples=50, deadline=None)
+def test_more_workers_never_slower(costs, workers):
+    arr = np.asarray(costs)
+    assert makespan(arr, workers + 1) <= makespan(arr, workers) + 1e-9
+
+
+@given(costs_strategy)
+@settings(max_examples=40, deadline=None)
+def test_single_worker_is_total(costs):
+    arr = np.asarray(costs)
+    assert np.isclose(makespan(arr, 1), arr.sum())
+
+
+@given(costs_strategy, st.integers(1, 8), st.floats(min_value=0.1, max_value=10.0))
+@settings(max_examples=40, deadline=None)
+def test_scale_invariance(costs, workers, factor):
+    arr = np.asarray(costs)
+    assert np.isclose(makespan(arr * factor, workers), factor * makespan(arr, workers))

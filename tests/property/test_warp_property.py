@@ -1,0 +1,59 @@
+"""Warp-primitive properties: the shfl_up doubling network computes exact
+prefix sums for any lane count, and the LT lane pick agrees with the
+mathematical first-crossing definition."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.warp import (
+    lt_select_activating_lane,
+    warp_ballot,
+    warp_inclusive_scan,
+    warp_reduce_sum,
+)
+
+lane_values = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1, max_size=32,
+)
+
+
+@given(lane_values)
+@settings(max_examples=80, deadline=None)
+def test_scan_equals_cumsum(values):
+    scanned, rounds = warp_inclusive_scan(np.asarray(values))
+    assert np.allclose(scanned, np.cumsum(values))
+    assert rounds == int(np.ceil(np.log2(len(values)))) if len(values) > 1 else rounds == 0
+
+
+@given(lane_values)
+@settings(max_examples=60, deadline=None)
+def test_reduce_equals_sum(values):
+    total, _ = warp_reduce_sum(np.asarray(values))
+    assert np.isclose(total, sum(values))
+
+
+@given(st.lists(st.booleans(), min_size=0, max_size=32))
+@settings(max_examples=60, deadline=None)
+def test_ballot_bits(preds):
+    mask = warp_ballot(np.asarray(preds, dtype=bool))
+    for lane, flag in enumerate(preds):
+        assert bool(mask >> lane & 1) == flag
+
+
+@given(
+    st.lists(st.floats(min_value=0.001, max_value=1.0), min_size=1, max_size=32),
+    st.floats(min_value=0.0, max_value=1.0, exclude_min=True),
+)
+@settings(max_examples=80, deadline=None)
+def test_lt_lane_first_crossing_definition(weights, tau):
+    w = np.asarray(weights)
+    w = w / max(w.sum(), 1.0)  # total <= 1
+    lane, _ = lt_select_activating_lane(w, tau)
+    cum = np.cumsum(w)
+    crossing = np.flatnonzero(cum >= tau)
+    if crossing.size == 0:
+        assert lane == -1
+    else:
+        assert lane == crossing[0]

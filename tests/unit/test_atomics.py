@@ -1,0 +1,41 @@
+import pytest
+
+from repro.gpu.atomics import AtomicCounter
+from repro.utils.errors import ValidationError
+
+
+def test_add_returns_old_value():
+    c = AtomicCounter(10)
+    assert c.add(5) == 10
+    assert c.value == 15
+    assert c.add(2) == 15
+
+
+def test_sub():
+    c = AtomicCounter(10)
+    assert c.sub(3) == 10
+    assert c.value == 7
+
+
+def test_exchange():
+    c = AtomicCounter(1)
+    assert c.exchange(9) == 1
+    assert c.value == 9
+
+
+def test_compare_and_swap():
+    c = AtomicCounter(5)
+    assert c.compare_and_swap(5, 8) == 5
+    assert c.value == 8
+    assert c.compare_and_swap(5, 99) == 8  # no swap: expected mismatch
+    assert c.value == 8
+
+
+def test_ops_counted_for_contention():
+    c = AtomicCounter()
+    for _ in range(7):
+        c.add(1)
+    assert c.ops == 7
+    assert c.contention_cycles(30.0) == 210.0
+    with pytest.raises(ValidationError):
+        c.contention_cycles(-1.0)

@@ -1,0 +1,62 @@
+import numpy as np
+import pytest
+
+from repro.encoding.bitmap import bitmap_encode
+from repro.rrr import RRRCollection, sample_rrr_ic
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture
+def coll():
+    return RRRCollection.from_sets(
+        [[0, 5, 9], list(range(60)), [3]], n=100, sources=[0, 1, 3]
+    )
+
+
+def test_hybrid_choice(coll):
+    enc = bitmap_encode(coll)
+    # n=100 -> bitmap is 16 bytes; arrays of size 3 (12B) stay arrays,
+    # the 60-element set (240B) becomes a bitmap
+    assert not enc.is_bitmap[0]
+    assert enc.is_bitmap[1]
+    assert not enc.is_bitmap[2]
+
+
+def test_roundtrip(coll):
+    enc = bitmap_encode(coll)
+    for i in range(coll.num_sets):
+        assert np.array_equal(enc.set_at(i), coll.set_at(i))
+
+
+def test_membership(coll):
+    enc = bitmap_encode(coll)
+    assert enc.contains(0, 5) and not enc.contains(0, 6)
+    assert enc.contains(1, 59) and not enc.contains(1, 60)
+    assert enc.contains(2, 3)
+    with pytest.raises(ValidationError):
+        enc.contains(0, 100)
+
+
+def test_force_bitmap(coll):
+    enc = bitmap_encode(coll, force_bitmap=True)
+    assert enc.is_bitmap.all()
+    assert np.array_equal(enc.set_at(0), coll.set_at(0))
+
+
+def test_hybrid_never_larger_than_dense(coll):
+    hybrid = bitmap_encode(coll).nbytes_total()
+    dense = bitmap_encode(coll, force_bitmap=True).nbytes_total()
+    assert hybrid <= dense
+
+
+def test_out_of_range_set(coll):
+    enc = bitmap_encode(coll)
+    with pytest.raises(ValidationError):
+        enc.set_at(5)
+
+
+def test_on_real_sample(small_ic_graph):
+    sample, _ = sample_rrr_ic(small_ic_graph, 500, rng=1)
+    enc = bitmap_encode(sample)
+    for i in range(0, 500, 43):
+        assert np.array_equal(enc.set_at(i), sample.set_at(i))

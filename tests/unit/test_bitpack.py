@@ -1,0 +1,122 @@
+import numpy as np
+import pytest
+
+from repro.encoding.bitpack import PackedArray, pack, required_bits, unpack_words
+from repro.utils.errors import ValidationError
+
+
+def test_required_bits_examples():
+    assert required_bits(123) == 7  # the paper's Fig. 1 value
+    assert required_bits(0) == 1
+    assert required_bits(1) == 1
+    assert required_bits(127) == 7
+    assert required_bits(128) == 8  # where the paper's ceil(log2) formula slips
+    assert required_bits(2**31 - 1) == 31
+
+
+def test_required_bits_rejects_negative():
+    with pytest.raises(ValidationError):
+        required_bits(-1)
+
+
+def test_paper_figure1():
+    """Fig. 1: [1, 123, 2, 83, 115] -> 7 bits/elem, 160 bits -> 64 bits."""
+    values = [1, 123, 2, 83, 115]
+    pa = pack(values, container_bits=32)
+    assert pa.n_bits == 7
+    assert pa.nbytes_raw == 20  # 160 bits
+    assert pa.nbytes_packed == 8  # two 32-bit containers
+    assert list(pa.unpack()) == values
+
+
+def test_roundtrip_spanning_boundaries():
+    values = list(range(100))
+    for nbits in (7, 11, 13, 17, 31, 32):
+        pa = pack(values, n_bits=nbits, container_bits=32)
+        assert list(pa.unpack()) == values, nbits
+
+
+def test_roundtrip_64bit_containers():
+    values = [0, 1, 2**30, 5, 123456789]
+    pa = pack(values, container_bits=64)
+    assert list(pa.unpack()) == values
+
+
+def test_nbits_too_small_rejected():
+    with pytest.raises(ValidationError):
+        pack([256], n_bits=8)
+
+
+def test_negative_values_rejected():
+    with pytest.raises(ValidationError):
+        pack([-1])
+
+
+def test_invalid_container_rejected():
+    with pytest.raises(ValidationError):
+        pack([1], container_bits=16)
+
+
+def test_empty_array():
+    pa = pack([])
+    assert len(pa) == 0
+    assert pa.unpack().size == 0
+    assert pa.nbytes_packed == 0
+    assert pa.savings_fraction == 0.0
+
+
+def test_gather_random_access():
+    values = np.arange(50) * 3
+    pa = pack(values)
+    idx = np.array([0, 49, 7, 7, 13])
+    assert list(pa.gather(idx)) == [0, 147, 21, 21, 39]
+
+
+def test_gather_out_of_range():
+    pa = pack([1, 2, 3])
+    with pytest.raises(ValidationError):
+        pa.gather(np.array([3]))
+
+
+def test_getitem_int_and_slice():
+    pa = pack([10, 20, 30, 40])
+    assert pa[1] == 20
+    assert pa[-1] == 40
+    assert list(pa[1:3]) == [20, 30]
+    with pytest.raises(IndexError):
+        pa[4]
+
+
+def test_set_element_within_single_container():
+    pa = pack([1, 2, 3, 4], n_bits=8)
+    pa.set_element(2, 200)
+    assert list(pa.unpack()) == [1, 2, 200, 4]
+
+
+def test_set_element_spanning_containers():
+    # 7-bit fields: element 4 occupies bits 28..34, spanning two words
+    pa = pack([0, 0, 0, 0, 0, 0], n_bits=7)
+    pa.set_element(4, 127)
+    assert pa[4] == 127
+    pa.set_element(4, 1)
+    assert list(pa.unpack()) == [0, 0, 0, 0, 1, 0]
+
+
+def test_set_element_validates():
+    pa = pack([1, 2], n_bits=4)
+    with pytest.raises(ValidationError):
+        pa.set_element(0, 16)
+    with pytest.raises(IndexError):
+        pa.set_element(5, 0)
+
+
+def test_savings_fraction():
+    pa = pack(np.arange(1000), n_bits=10)
+    # 10 bits vs 32 bits -> ~68.75% saved (modulo container rounding)
+    assert 0.67 < pa.savings_fraction < 0.70
+
+
+def test_unpack_words_matches_unpack():
+    values = [5, 9, 200, 4]
+    pa = pack(values, n_bits=9)
+    assert list(unpack_words(pa.words, 9, 4, 32)) == values

@@ -1,0 +1,72 @@
+import math
+
+import pytest
+
+from repro.imm.bounds import (
+    BoundsConfig,
+    adjusted_ell,
+    lambda_prime,
+    lambda_star,
+    log_binomial,
+)
+from repro.utils.errors import ValidationError
+
+
+def test_log_binomial_exact_small_cases():
+    assert log_binomial(5, 2) == pytest.approx(math.log(10))
+    assert log_binomial(10, 0) == pytest.approx(0.0)
+    assert log_binomial(10, 10) == pytest.approx(0.0)
+
+
+def test_log_binomial_symmetry():
+    assert log_binomial(100, 30) == pytest.approx(log_binomial(100, 70))
+
+
+def test_log_binomial_rejects_invalid():
+    with pytest.raises(ValidationError):
+        log_binomial(5, 6)
+    with pytest.raises(ValidationError):
+        log_binomial(5, -1)
+
+
+def test_adjusted_ell_inflates():
+    assert adjusted_ell(1000, 1.0) > 1.0
+    assert adjusted_ell(10**6, 1.0) < adjusted_ell(100, 1.0)  # shrinks with n
+
+
+def test_lambda_star_monotone_in_epsilon():
+    n, k = 10_000, 50
+    assert lambda_star(n, k, 0.05, 1.0) > lambda_star(n, k, 0.1, 1.0)
+    # quadratic dependence on 1/eps
+    ratio = lambda_star(n, k, 0.05, 1.0) / lambda_star(n, k, 0.1, 1.0)
+    assert ratio == pytest.approx(4.0, rel=1e-9)
+
+
+def test_lambda_star_monotone_in_k():
+    n = 10_000
+    assert lambda_star(n, 100, 0.1, 1.0) > lambda_star(n, 10, 0.1, 1.0)
+
+
+def test_lambda_prime_monotone():
+    n, k = 10_000, 50
+    assert lambda_prime(n, k, 0.05, 1.0) > lambda_prime(n, k, 0.2, 1.0)
+    with pytest.raises(ValidationError):
+        lambda_prime(n, k, 0.0, 1.0)
+    with pytest.raises(ValidationError):
+        lambda_star(n, k, 0.0, 1.0)
+
+
+def test_bounds_config_cap():
+    cfg = BoundsConfig(theta_scale=0.5, max_theta=100)
+    assert cfg.cap(500.0) == 100
+    assert cfg.cap(150.0) == 75
+    assert cfg.cap(0.1) == 1
+
+
+def test_bounds_config_validation():
+    with pytest.raises(ValidationError):
+        BoundsConfig(ell=0)
+    with pytest.raises(ValidationError):
+        BoundsConfig(theta_scale=0)
+    with pytest.raises(ValidationError):
+        BoundsConfig(max_theta=0)

@@ -1,0 +1,64 @@
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_datasets_command(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "wiki-Vote" in out and "soc-LiveJournal1" in out
+
+
+def test_seeds_command_on_dataset(capsys):
+    rc = main([
+        "seeds", "--dataset", "WV", "--k", "3", "--epsilon", "0.4",
+        "--theta-scale", "0.05", "--validate", "50",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "seeds:" in out and "Monte-Carlo spread" in out
+
+
+def test_seeds_command_on_edge_list(tmp_path, capsys):
+    path = tmp_path / "g.txt"
+    lines = [f"{u} {v}" for u in range(20) for v in range(20) if u != v and (u + v) % 3 == 0]
+    path.write_text("\n".join(lines))
+    rc = main([
+        "seeds", "--edge-list", str(path), "--k", "2", "--epsilon", "0.4",
+        "--theta-scale", "0.05",
+    ])
+    assert rc == 0
+    assert "seeds:" in capsys.readouterr().out
+
+
+def test_seeds_lt_model(capsys):
+    rc = main([
+        "seeds", "--dataset", "WV", "--k", "3", "--epsilon", "0.4",
+        "--model", "LT", "--theta-scale", "0.05", "--no-source-elimination",
+    ])
+    assert rc == 0
+
+
+def test_compare_command(capsys):
+    rc = main([
+        "compare", "--dataset", "WV", "--k", "10", "--epsilon", "0.3",
+        "--theta-scale", "0.1",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "eim" in out and "gim" in out and "curipples" in out
+    assert "speedup" in out
+
+
+def test_experiment_command(capsys):
+    rc = main(["experiment", "table1", "--datasets", "WV,EE"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+
+
+def test_parser_rejects_unknown():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "table99"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["seeds"])  # needs a source

@@ -1,0 +1,111 @@
+import numpy as np
+import pytest
+
+from repro.gpu.cost_model import CostModel
+from repro.gpu.device import RTX_A6000
+from repro.imm.seed_selection import SelectionStats
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def cost():
+    return CostModel(RTX_A6000)
+
+
+def _stats(n_sets: int, k: int = 10, avg_size: float = 8.0) -> SelectionStats:
+    return SelectionStats(
+        sets_scanned=np.full(k, n_sets, dtype=np.int64),
+        sets_found=np.full(k, max(n_sets // 100, 1), dtype=np.int64),
+        elements_decremented=np.full(k, max(n_sets // 10, 1), dtype=np.int64),
+        avg_set_size=avg_size,
+    )
+
+
+def test_encoded_expansion_cheaper(cost):
+    edges = np.array([1000.0, 500.0])
+    raw = cost.ic_expansion_cycles(edges, encoded=False)
+    packed = cost.ic_expansion_cycles(edges, encoded=True, element_bits=10)
+    assert np.all(packed < raw)
+
+
+def test_expansion_scales_linearly(cost):
+    one = cost.ic_expansion_cycles(np.array([100.0]), False)[0]
+    two = cost.ic_expansion_cycles(np.array([200.0]), False)[0]
+    assert two == pytest.approx(2 * one)
+
+
+def test_lt_prefix_scan_beats_atomics(cost):
+    edges = np.array([3000.0])
+    steps = np.array([50.0])
+    scan = cost.lt_expansion_cycles(edges, steps, False, use_prefix_scan=True)
+    atomic = cost.lt_expansion_cycles(edges, steps, False, use_prefix_scan=False)
+    assert scan[0] < atomic[0]  # §3.3's measured conclusion
+
+
+def test_shared_queue_cheap_until_spill(cost):
+    small = np.array([100.0])
+    shared, spills = cost.queue_ops_cycles(small, "shared", shared_capacity_elems=1000)
+    glob, _ = cost.queue_ops_cycles(small, "global")
+    assert shared[0] < glob[0]
+    assert spills[0] == 0
+
+
+def test_shared_queue_spill_penalty(cost):
+    big = np.array([5000.0])
+    shared, spills = cost.queue_ops_cycles(big, "shared", shared_capacity_elems=1000)
+    glob, _ = cost.queue_ops_cycles(big, "global")
+    assert spills[0] == 4
+    assert shared[0] > glob[0]  # mallocs flip the advantage
+
+
+def test_queue_validation(cost):
+    with pytest.raises(ValidationError):
+        cost.queue_ops_cycles(np.array([1.0]), "weird")
+    with pytest.raises(ValidationError):
+        cost.queue_ops_cycles(np.array([1.0]), "shared")
+
+
+def test_sort_cycles_superlinear(cost):
+    s = cost.sort_cycles(np.array([100.0, 200.0]))
+    assert s[1] > 2 * s[0]
+
+
+def test_store_double_copy_costs_more(cost):
+    sizes = np.array([64.0])
+    single = cost.store_cycles(sizes, False, 32, copies=1)
+    double = cost.store_cycles(sizes, False, 32, copies=2)
+    assert double[0] > single[0]
+
+
+def test_store_packed_cheaper(cost):
+    sizes = np.array([512.0])
+    raw = cost.store_cycles(sizes, False, 32, copies=1)
+    packed = cost.store_cycles(sizes, True, 9, copies=1)
+    assert packed[0] < raw[0]
+
+
+def test_thread_vs_warp_crossover(cost):
+    """The Fig. 3 effect: warp-based wins at small N, thread-based at large N."""
+    small = _stats(1_000)
+    large = _stats(5_000_000)
+    assert cost.warp_scan_cycles(small) < cost.thread_scan_cycles(small, encoded=False)
+    assert cost.thread_scan_cycles(large, encoded=False) < cost.warp_scan_cycles(large)
+
+
+def test_cpu_scan_dominates_gpu(cost):
+    stats = _stats(100_000)
+    cpu = cost.cpu_scan_cycles(stats, 1.0)
+    gpu = cost.warp_scan_cycles(stats)
+    assert cpu > gpu
+    with pytest.raises(ValidationError):
+        cost.cpu_scan_cycles(stats, 1.5)
+
+
+def test_cpu_scan_zero_fraction_free(cost):
+    assert cost.cpu_scan_cycles(_stats(1000), 0.0) == 0.0
+
+
+def test_argmax_scales_with_iterations(cost):
+    assert cost.argmax_cycles(10_000, 20) == pytest.approx(
+        2 * cost.argmax_cycles(10_000, 10)
+    )

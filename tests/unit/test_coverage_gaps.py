@@ -1,0 +1,76 @@
+"""Targeted tests for corners the main suites leave thin: CLI figure
+regeneration, multi-device memory faults, the CPU engine's host-RAM
+scaling, Huffman stream corruption, and bitmap byte accounting."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.encoding.bitmap import bitmap_encode
+from repro.encoding.huffman import huffman_decode, huffman_encode
+from repro.engines.ripples_cpu import HOST_RAM_BYTES, RipplesCPUEngine
+from repro.gpu import RTX_A6000
+from repro.gpu.multi import run_multi_device_eim
+from repro.rrr import RRRCollection
+from repro.utils.errors import ValidationError
+
+
+def test_cli_figure_experiment(capsys):
+    rc = main(["experiment", "sec42", "--datasets", "WV,PG"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "log encoding" in out and "WV" in out
+
+
+def test_cli_table1b_experiment(capsys):
+    rc = main(["experiment", "table1b", "--datasets", "EE"])
+    assert rc == 0
+    assert "zero-in" in capsys.readouterr().out
+
+
+def test_multi_device_flags_oom_per_device():
+    import repro.graphs as graphs
+    from repro.imm import BoundsConfig, run_imm
+
+    g = graphs.assign_ic_weights(graphs.powerlaw_configuration(500, 3000, rng=3))
+    imm = run_imm(g, 10, 0.2, rng=1, eliminate_sources=True,
+                  bounds=BoundsConfig(theta_scale=0.3))
+    tiny = RTX_A6000.scaled(10_000_000)  # a few KB per device
+    res = run_multi_device_eim(imm, g, tiny, 4)
+    assert res.oom  # even a shard of R cannot fit
+
+
+def test_cpu_engine_host_ram_scales_with_device():
+    engine = RipplesCPUEngine()
+    full = engine._adapt_spec(RTX_A6000)
+    assert full.global_mem_bytes == HOST_RAM_BYTES
+    scaled = engine._adapt_spec(RTX_A6000.scaled(1000))
+    assert scaled.global_mem_bytes == pytest.approx(HOST_RAM_BYTES / 1000, rel=0.01)
+
+
+def test_huffman_corrupt_stream_detected():
+    enc = huffman_encode([5, 6, 7, 5, 5])
+    enc.words = enc.words.copy()
+    enc.words[:] = np.uint64(0xFFFFFFFFFFFFFFFF)  # garbage bits
+    decoded_or_error = None
+    try:
+        decoded_or_error = huffman_decode(enc)
+    except ValidationError:
+        return  # detected corruption
+    # with a complete code every bit pattern decodes *to something*;
+    # then the roundtrip must at least differ from the original
+    assert list(decoded_or_error) != [5, 6, 7, 5, 5]
+
+
+def test_bitmap_flag_bits_counted():
+    coll = RRRCollection.from_sets([[0]] * 9, n=8)
+    enc = bitmap_encode(coll)
+    # 9 sets -> 2 flag bytes + 9 arrays of one int32
+    assert enc.nbytes_total() == 2 + 9 * 4
+
+
+def test_bitmap_single_vertex_graph():
+    coll = RRRCollection.from_sets([[0], []], n=1)
+    enc = bitmap_encode(coll, force_bitmap=True)
+    assert list(enc.set_at(0)) == [0]
+    assert enc.set_at(1).size == 0

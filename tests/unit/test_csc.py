@@ -1,0 +1,111 @@
+import numpy as np
+import pytest
+
+from repro.graphs import DirectedGraph
+from repro.utils.errors import ValidationError
+
+
+def test_from_edges_groups_by_destination():
+    g = DirectedGraph.from_edges([0, 2, 1], [1, 1, 2], n=3)
+    assert g.n == 3 and g.m == 3
+    assert list(g.in_neighbors(1)) == [0, 2]  # sorted by source id
+    assert list(g.in_neighbors(2)) == [1]
+    assert list(g.in_neighbors(0)) == []
+
+
+def test_from_edges_dedupes_parallel_edges():
+    g = DirectedGraph.from_edges([0, 0, 0], [1, 1, 1], n=2)
+    assert g.m == 1
+
+
+def test_from_edges_keeps_duplicates_when_requested():
+    g = DirectedGraph.from_edges([0, 0], [1, 1], n=2, dedupe=False)
+    assert g.m == 2
+
+
+def test_from_edges_infers_n():
+    g = DirectedGraph.from_edges([0, 5], [5, 3])
+    assert g.n == 6
+
+
+def test_from_edges_rejects_out_of_range_ids():
+    with pytest.raises(ValidationError):
+        DirectedGraph.from_edges([0], [3], n=2)
+    with pytest.raises(ValidationError):
+        DirectedGraph.from_edges([-1], [0], n=2)
+
+
+def test_degrees(diamond_graph):
+    assert list(diamond_graph.in_degrees()) == [0, 1, 1, 2]
+    assert list(diamond_graph.out_degrees()) == [2, 1, 1, 0]
+
+
+def test_csr_view_consistent_with_csc(small_ic_graph):
+    csr_indptr, csr_indices, csr_weights = small_ic_graph.csr()
+    # rebuild the edge set from both views and compare
+    csc_dst = np.repeat(np.arange(small_ic_graph.n), small_ic_graph.in_degrees())
+    csc_edges = set(zip(small_ic_graph.indices.tolist(), csc_dst.tolist()))
+    csr_src = np.repeat(np.arange(small_ic_graph.n), np.diff(csr_indptr))
+    csr_edges = set(zip(csr_src.tolist(), csr_indices.tolist()))
+    assert csc_edges == csr_edges
+
+
+def test_csr_weights_follow_edges():
+    g = DirectedGraph.from_edges([0, 1], [2, 2], n=3, weights=[0.25, 0.75])
+    csr_indptr, csr_indices, csr_weights = g.csr()
+    # edge (0,2) carries 0.25, edge (1,2) carries 0.75 in CSR order too
+    assert csr_weights[csr_indptr[0]] == 0.25
+    assert csr_weights[csr_indptr[1]] == 0.75
+
+
+def test_reverse_transposes(diamond_graph):
+    rev = diamond_graph.reverse()
+    assert list(rev.in_neighbors(0)) == [1, 2]
+    assert list(rev.in_neighbors(1)) == [3]
+    assert rev.m == diamond_graph.m
+
+
+def test_in_weight_cumsum_per_segment():
+    g = DirectedGraph.from_edges([0, 1, 0], [2, 2, 1], n=3, weights=[0.2, 0.3, 1.0])
+    cum = g.in_weight_cumsum()
+    # vertex 1 segment: [1.0]; vertex 2 segment: [0.2, 0.5]
+    assert cum[g.indptr[1]] == pytest.approx(1.0)
+    assert cum[g.indptr[2]] == pytest.approx(0.2)
+    assert cum[g.indptr[2] + 1] == pytest.approx(0.5)
+
+
+def test_total_in_weight():
+    g = DirectedGraph.from_edges([0, 1], [2, 2], n=3, weights=[0.2, 0.3])
+    totals = g.total_in_weight()
+    assert totals[0] == 0.0 and totals[2] == pytest.approx(0.5)
+
+
+def test_weights_validation():
+    with pytest.raises(ValidationError):
+        DirectedGraph.from_edges([0], [1], n=2, weights=[1.5])
+    with pytest.raises(ValidationError):
+        DirectedGraph.from_edges([0], [1], n=2, weights=[0.5, 0.5])
+
+
+def test_in_weights_requires_assignment(diamond_graph):
+    with pytest.raises(ValidationError):
+        diamond_graph.in_weights(3)
+
+
+def test_with_weights_shares_topology(diamond_graph):
+    w = np.full(diamond_graph.m, 0.5)
+    g2 = diamond_graph.with_weights(w)
+    assert g2.indices is diamond_graph.indices
+    assert g2.weights is not None
+
+
+def test_nbytes_csc():
+    g = DirectedGraph.from_edges([0], [1], n=2, weights=[0.5])
+    # 4*(n+1) offsets + 4*m indices + 4*m weights
+    assert g.nbytes_csc() == 4 * 3 + 4 + 4
+    assert g.nbytes_csc(include_weights=False) == 4 * 3 + 4
+
+
+def test_empty_graph():
+    g = DirectedGraph(np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int32))
+    assert g.n == 0 and g.m == 0

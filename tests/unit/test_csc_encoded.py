@@ -1,0 +1,75 @@
+import numpy as np
+import pytest
+
+from repro.encoding.csc_encoded import encode_graph
+from repro.graphs import assign_ic_weights, assign_lt_weights
+from repro.graphs.generators import powerlaw_configuration
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return assign_ic_weights(powerlaw_configuration(500, 3000, rng=21))
+
+
+def test_roundtrip_topology(graph):
+    decoded = encode_graph(graph).decode()
+    assert np.array_equal(decoded.indptr, graph.indptr)
+    assert np.array_equal(decoded.indices, graph.indices)
+
+
+def test_degree_weights_implicit_and_recovered(graph):
+    enc = encode_graph(graph)
+    assert enc.implicit_indegree_weights
+    assert enc.weights is None
+    assert np.allclose(enc.decode().weights, graph.weights)
+
+
+def test_general_weights_fixedpoint():
+    g = powerlaw_configuration(200, 1000, rng=2)
+    g = assign_ic_weights(g, scheme="uniform_random", rng=3)
+    enc = encode_graph(g)
+    assert not enc.implicit_indegree_weights
+    assert enc.weights is not None
+    assert np.abs(enc.decode().weights - g.weights).max() < 2**-15
+
+
+def test_raw32_mode_counts_weight_bytes(graph):
+    enc = encode_graph(graph, weight_mode="raw32")
+    assert enc.raw_weight_bytes == 4 * graph.m
+    assert np.allclose(enc.decode().weights, graph.weights)
+    implicit = encode_graph(graph, weight_mode="auto")
+    assert enc.nbytes_packed() == implicit.nbytes_packed() + 4 * graph.m
+
+
+def test_fixedpoint_mode_forces_quantization(graph):
+    enc = encode_graph(graph, weight_mode="fixedpoint")
+    assert enc.weights is not None and not enc.implicit_indegree_weights
+
+
+def test_unknown_weight_mode(graph):
+    with pytest.raises(ValueError):
+        encode_graph(graph, weight_mode="bogus")
+
+
+def test_segment_decode_matches(graph):
+    enc = encode_graph(graph)
+    for v in (0, 7, 123, graph.n - 1):
+        assert np.array_equal(enc.in_neighbors(v), graph.in_neighbors(v))
+
+
+def test_memory_report_positive_savings(graph):
+    report = encode_graph(graph).memory_report(graph)
+    assert report.raw_bytes == graph.nbytes_csc()
+    assert 0 < report.percent_saved < 100
+
+
+def test_lt_weights_also_implicit():
+    g = assign_lt_weights(powerlaw_configuration(200, 1200, rng=5))
+    assert encode_graph(g).implicit_indegree_weights
+
+
+def test_unweighted_graph_encodes():
+    g = powerlaw_configuration(200, 1000, rng=8)
+    enc = encode_graph(g)
+    assert enc.weights is None and not enc.implicit_indegree_weights
+    assert enc.decode().weights is None

@@ -1,0 +1,70 @@
+import pytest
+
+from repro.graphs.datasets import DATASETS, MIN_VERTICES, get_dataset, load_dataset
+from repro.utils.errors import ValidationError
+
+
+def test_registry_has_sixteen_paper_datasets():
+    assert len(DATASETS) == 16
+    assert list(DATASETS)[:3] == ["WV", "PG", "SE"]
+    assert "SL" in DATASETS and "CO" in DATASETS
+
+
+def test_lookup_case_insensitive():
+    assert get_dataset("wv").name == "wiki-Vote"
+
+
+def test_unknown_code_rejected():
+    with pytest.raises(ValidationError):
+        get_dataset("XX")
+
+
+def test_sizes_at_scales():
+    spec = get_dataset("SL")
+    n_tiny, m_tiny = spec.sizes_at("tiny")
+    n_small, _ = spec.sizes_at("small")
+    n_paper, m_paper = spec.sizes_at("paper")
+    assert n_tiny < n_small < n_paper
+    assert n_paper == spec.paper_vertices and m_paper == spec.paper_edges
+    # average degree preserved within rounding
+    assert abs(m_tiny / n_tiny - spec.avg_degree()) < 1.0
+
+
+def test_min_vertices_floor():
+    spec = get_dataset("WV")  # paper n=8298, /1000 would be 8
+    n, _ = spec.sizes_at("tiny")
+    assert n == MIN_VERTICES
+
+
+def test_unknown_scale_rejected():
+    with pytest.raises(ValidationError):
+        get_dataset("WV").sizes_at("huge")
+
+
+def test_generate_is_deterministic():
+    a = load_dataset("SE", "tiny", rng=9)
+    b = load_dataset("SE", "tiny", rng=9)
+    assert a.n == b.n and a.m == b.m
+
+
+@pytest.mark.parametrize("code", list(DATASETS))
+def test_every_dataset_generates_at_tiny(code):
+    g = load_dataset(code, "tiny", rng=1)
+    spec = get_dataset(code)
+    n_target, m_target = spec.sizes_at("tiny")
+    assert g.n == n_target
+    assert g.m > 0.5 * m_target  # generators lose some edges to dedup
+
+
+def test_ee_has_high_zero_in_fraction():
+    g = load_dataset("EE", "tiny", rng=1)
+    assert (g.in_degrees() == 0).mean() > 0.4
+
+
+def test_undirected_datasets_are_symmetric():
+    import numpy as np
+
+    g = load_dataset("CA", "tiny", rng=1)
+    dst = np.repeat(np.arange(g.n), g.in_degrees())
+    edges = set(zip(g.indices.tolist(), dst.tolist()))
+    assert all((b, a) in edges for a, b in edges)

@@ -1,0 +1,62 @@
+import pytest
+
+from repro.gpu.device import RTX_A6000, DeviceSpec, SimulatedDevice
+from repro.utils.errors import DeviceOOMError, ValidationError
+
+
+def test_a6000_geometry():
+    assert RTX_A6000.num_sms == 84
+    assert RTX_A6000.global_mem_bytes == 48 * 2**30
+    assert RTX_A6000.resident_blocks == 84 * 16
+    assert RTX_A6000.launchable_threads == 84 * 1536
+    assert RTX_A6000.launchable_warps == RTX_A6000.launchable_threads // 32
+
+
+def test_seconds_conversion():
+    assert RTX_A6000.seconds(1.8e9) == pytest.approx(1.0)
+
+
+def test_transfer_cycles_linear_in_bytes():
+    base = RTX_A6000.transfer_cycles(0)
+    one_mb = RTX_A6000.transfer_cycles(2**20)
+    two_mb = RTX_A6000.transfer_cycles(2**21)
+    assert two_mb - one_mb == pytest.approx(one_mb - base, rel=1e-9)
+    with pytest.raises(ValidationError):
+        RTX_A6000.transfer_cycles(-1)
+
+
+def test_scaled_device():
+    small = RTX_A6000.scaled(1000)
+    assert small.global_mem_bytes == RTX_A6000.global_mem_bytes // 1000
+    assert small.num_sms == 2  # floored
+    medium = RTX_A6000.scaled(4, 4)
+    assert medium.num_sms == 21
+    with pytest.raises(ValidationError):
+        RTX_A6000.scaled(0)
+    with pytest.raises(ValidationError):
+        RTX_A6000.scaled(10, 0)
+
+
+def test_spec_validation():
+    with pytest.raises(ValidationError):
+        DeviceSpec(num_sms=0)
+    with pytest.raises(ValidationError):
+        DeviceSpec(global_mem_bytes=0)
+
+
+def test_simulated_device_ledger():
+    dev = SimulatedDevice(RTX_A6000.scaled(1000))
+    dev.charge("a", 100.0)
+    dev.charge("b", 50.0)
+    dev.charge("a", 25.0)
+    assert dev.elapsed_cycles == 175.0
+    assert dev.breakdown() == {"a": 125.0, "b": 50.0}
+    assert dev.elapsed_seconds() == pytest.approx(dev.spec.seconds(175.0))
+    with pytest.raises(ValidationError):
+        dev.charge("bad", -1.0)
+
+
+def test_simulated_device_memory_faults():
+    dev = SimulatedDevice(RTX_A6000.scaled(10**7))  # ~5 KB
+    with pytest.raises(DeviceOOMError):
+        dev.memory.allocate(10**6, "too big")

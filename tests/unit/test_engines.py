@@ -1,0 +1,134 @@
+import numpy as np
+import pytest
+
+from repro.engines import CuRipplesEngine, EIMEngine, ENGINES, GIMEngine
+from repro.gpu import RTX_A6000
+from repro.imm import BoundsConfig, run_imm
+
+BOUNDS = BoundsConfig(theta_scale=1.0)
+SPEC = RTX_A6000.scaled(1000)
+# the paper's regime: selection weight grows with k (default there k=50)
+K, EPS = 40, 0.1
+
+
+@pytest.fixture(scope="module")
+def results(request):
+    import repro.graphs as graphs
+
+    g = graphs.assign_ic_weights(graphs.powerlaw_configuration(400, 2400, rng=31))
+    out = {}
+    vanilla = run_imm(g, K, EPS, rng=5, bounds=BOUNDS)
+    out["graph"] = g
+    out["eim"] = EIMEngine().run(g, K, EPS, rng=5, bounds=BOUNDS, device_spec=SPEC)
+    out["gim"] = GIMEngine().run(g, K, EPS, bounds=BOUNDS, device_spec=SPEC,
+                                 imm_result=vanilla)
+    out["curipples"] = CuRipplesEngine().run(g, K, EPS, bounds=BOUNDS,
+                                             device_spec=SPEC, imm_result=vanilla)
+    return out
+
+
+def test_registry():
+    assert set(ENGINES) == {"eim", "gim", "curipples", "ripples_cpu"}
+
+
+def test_all_engines_produce_seeds(results):
+    for name in ("eim", "gim", "curipples"):
+        r = results[name]
+        assert not r.oom
+        assert r.seeds.size == K
+        assert r.total_cycles > 0
+        assert r.seconds > 0
+        assert 0 < r.coverage <= 1.0
+
+
+def test_gim_and_curipples_share_seeds(results):
+    assert np.array_equal(results["gim"].seeds, results["curipples"].seeds)
+
+
+def test_eim_stores_fewer_bytes(results):
+    assert results["eim"].rrr_store_bytes < results["gim"].rrr_store_bytes
+
+
+def test_eim_fastest(results):
+    assert results["eim"].total_cycles < results["gim"].total_cycles
+    assert results["eim"].total_cycles < results["curipples"].total_cycles
+
+
+def test_curipples_pays_transfer_costs(results):
+    bd = results["curipples"].breakdown
+    assert bd.get("offload_to_host", 0) > 0
+    assert bd.get("reload_to_device", 0) > 0
+    assert "offload_to_host" not in results["eim"].breakdown
+
+
+def test_speedup_over(results):
+    s = results["eim"].speedup_over(results["gim"])
+    assert s == pytest.approx(
+        results["gim"].total_cycles / results["eim"].total_cycles
+    )
+
+
+def test_eim_ablation_toggles(results):
+    g = results["graph"]
+    full = results["eim"]
+    no_pack = EIMEngine(log_encoding=False).run(
+        g, K, EPS, rng=5, bounds=BOUNDS, device_spec=SPEC
+    )
+    assert no_pack.rrr_store_bytes > full.rrr_store_bytes
+    no_elim = EIMEngine(eliminate_sources=False).run(
+        g, K, EPS, rng=5, bounds=BOUNDS, device_spec=SPEC
+    )
+    assert no_elim.theta >= full.theta
+    warp_scan = EIMEngine(thread_scan=False).run(
+        g, K, EPS, rng=5, bounds=BOUNDS, device_spec=SPEC
+    )
+    assert warp_scan.breakdown["selection_scan"] != full.breakdown["selection_scan"]
+
+
+def test_oom_result_shape():
+    import repro.graphs as graphs
+
+    g = graphs.assign_ic_weights(graphs.powerlaw_configuration(400, 2400, rng=31))
+    tiny_spec = RTX_A6000.scaled(5_000_000)  # ~10 KB device
+    r = GIMEngine().run(g, 5, 0.3, rng=1, bounds=BoundsConfig(theta_scale=0.1), device_spec=tiny_spec)
+    assert r.oom
+    assert r.seeds is None
+    assert np.isnan(r.total_cycles)
+    assert "OOM" in r.oom_detail or "oom" in r.oom_detail.lower() or r.oom_detail
+    assert np.isnan(r.speedup_over(r))
+
+
+def test_lt_model_runs():
+    import repro.graphs as graphs
+
+    g = graphs.assign_lt_weights(graphs.powerlaw_configuration(400, 2400, rng=31))
+    r = EIMEngine().run(g, 8, 0.3, "LT", rng=2, bounds=BoundsConfig(theta_scale=0.1), device_spec=SPEC)
+    assert not r.oom and r.model == "LT"
+
+
+def test_gim_spill_fragmentation_grows_memory():
+    """Force tiny shared queues: gIM's footprint must include fragmentation."""
+    import repro.graphs as graphs
+
+    g = graphs.assign_ic_weights(graphs.powerlaw_configuration(400, 2400, rng=31))
+    tight = GIMEngine(shared_queue_fraction=0.001)
+    r = tight.run(g, 10, 0.2, rng=5, bounds=BoundsConfig(theta_scale=0.1), device_spec=SPEC)
+    assert not r.oom
+    assert r.breakdown["sampling"] > 0
+
+
+def test_gim_can_win_at_small_theta():
+    """The paper's caveat: with few RRR sets, gIM's shared-memory queues
+    can outweigh eIM's advantages (it is 'slightly faster ... in which the
+    number of generated RRR sets is relatively small')."""
+    import repro.graphs as graphs
+
+    g = graphs.assign_ic_weights(graphs.powerlaw_configuration(400, 2400, rng=31))
+    loose = BoundsConfig(theta_scale=0.02)
+    vanilla = run_imm(g, 5, 0.4, rng=5, bounds=loose)
+    eim = EIMEngine().run(g, 5, 0.4, rng=5, bounds=loose, device_spec=SPEC)
+    gim = GIMEngine().run(g, 5, 0.4, bounds=loose, device_spec=SPEC,
+                          imm_result=vanilla)
+    # no strict winner asserted at this size; the ratio must just be mild
+    ratio = eim.total_cycles / gim.total_cycles
+    assert 0.5 < ratio < 2.0

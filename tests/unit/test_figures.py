@@ -1,0 +1,59 @@
+import pytest
+
+from repro.experiments import ExperimentConfig, figures
+
+CFG = ExperimentConfig(datasets=("WV", "EE", "SE"), sweep_theta_scale=0.1)
+
+
+def test_fig3_produces_crossover():
+    res = figures.fig3_scan_scaling(CFG, n_values=(1_000, 8_000, 64_000))
+    assert res.figure == "Fig. 3"
+    thread, warp = res.series
+    assert thread.name.startswith("thread")
+    # warp wins at the smallest N, thread at the largest (paper shape)
+    assert warp.y[0] < thread.y[0]
+    assert thread.y[-1] < warp.y[-1]
+    assert "N (RRR sets)" in res.render()
+
+
+def test_sec42_savings_positive():
+    res = figures.sec42_csc_memory(CFG)
+    conservative, implicit = res.series
+    assert all(0 < y < 100 for y in conservative.y)
+    # dropping the weight array entirely saves strictly more
+    assert all(i > c for c, i in zip(conservative.y, implicit.y))
+
+
+def test_fig4_savings_in_plausible_band():
+    res = figures.fig4_log_encoding_memory(CFG, k=10, epsilon=0.3)
+    total, rrr = res.series
+    assert all(20 < y < 95 for y in total.y)
+    assert all(20 < y < 95 for y in rrr.y)
+
+
+def test_fig5_speedup_positive_and_renders():
+    res = figures.fig5_source_elim_speedup(CFG, k=10, epsilon=0.3)
+    singles, speedup = res.series
+    assert len(speedup.y) == 3
+    assert all(s > 0 for s in speedup.y)
+    assert "Fig. 5" in res.render()
+
+
+def test_fig6_memory_change_bounded():
+    res = figures.fig6_source_elim_memory(CFG, k=10, epsilon=0.3)
+    _, change = res.series
+    assert all(-100 < c < 100 for c in change.y)
+
+
+def test_fig7_speedups():
+    res = figures.fig7_ic_speedups(CFG)
+    vs_gim, vs_cur = res.series
+    assert len(vs_gim.y) == 3
+    # cuRipples is always the slowest of the three
+    assert all(c > g * 0.9 for g, c in zip(vs_gim.y, vs_cur.y))
+
+
+@pytest.mark.slow
+def test_fig8_lt_speedups():
+    res = figures.fig8_lt_speedups(CFG)
+    assert len(res.series[0].y) == 3

@@ -1,0 +1,39 @@
+import numpy as np
+import pytest
+
+from repro.encoding.fixedpoint import pack_fixed_point, unpack_fixed_point
+from repro.utils.errors import ValidationError
+
+
+def test_roundtrip_error_bounded():
+    rng = np.random.default_rng(3)
+    values = rng.random(500)
+    for bits in (8, 16, 24):
+        packed = pack_fixed_point(values, bits=bits)
+        restored = unpack_fixed_point(packed)
+        assert np.abs(restored - values).max() <= 2.0 ** -(bits) + 1e-12
+
+
+def test_exact_endpoints():
+    packed = pack_fixed_point([0.0, 1.0], bits=16)
+    restored = unpack_fixed_point(packed)
+    assert restored[0] == 0.0 and restored[1] == 1.0
+
+
+def test_rejects_out_of_range():
+    with pytest.raises(ValidationError):
+        pack_fixed_point([1.2])
+    with pytest.raises(ValidationError):
+        pack_fixed_point([-0.1])
+
+
+def test_rejects_bad_bits():
+    with pytest.raises(ValidationError):
+        pack_fixed_point([0.5], bits=0)
+    with pytest.raises(ValidationError):
+        pack_fixed_point([0.5], bits=33)
+
+
+def test_memory_smaller_than_float32():
+    packed = pack_fixed_point(np.linspace(0, 1, 1000), bits=16)
+    assert packed.nbytes_packed < 4 * 1000

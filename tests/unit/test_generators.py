@@ -1,0 +1,81 @@
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    _powerlaw_degree_sequence,
+    erdos_renyi_directed,
+    powerlaw_cluster_directed,
+    powerlaw_configuration,
+)
+from repro.utils.errors import ValidationError
+
+
+def test_degree_sequence_hits_target_sum():
+    rng = np.random.default_rng(1)
+    deg = _powerlaw_degree_sequence(500, 3000, 2.2, rng)
+    assert deg.sum() == 3000
+    assert deg.min() >= 0
+
+
+def test_degree_sequence_zero_fraction():
+    rng = np.random.default_rng(1)
+    deg = _powerlaw_degree_sequence(1000, 2000, 2.2, rng, zero_fraction=0.5)
+    assert (deg == 0).mean() >= 0.45
+
+
+def test_powerlaw_configuration_basic():
+    g = powerlaw_configuration(500, 3000, rng=3)
+    assert g.n == 500
+    assert 0.8 * 3000 <= g.m <= 3000  # dedup/self-loop losses bounded
+    # no self loops
+    dst = np.repeat(np.arange(g.n), g.in_degrees())
+    assert not np.any(g.indices == dst)
+
+
+def test_powerlaw_configuration_heavy_tail():
+    g = powerlaw_configuration(2000, 16000, exponent_in=2.0, rng=5)
+    deg = g.in_degrees()
+    assert deg.max() >= 10 * max(deg.mean(), 1)
+
+
+def test_powerlaw_bidirectional_symmetry():
+    g = powerlaw_configuration(300, 900, rng=7, bidirectional=True)
+    dst = np.repeat(np.arange(g.n), g.in_degrees())
+    edges = set(zip(g.indices.tolist(), dst.tolist()))
+    assert all((b, a) in edges for a, b in edges)
+
+
+def test_erdos_renyi_counts():
+    g = erdos_renyi_directed(400, 2000, rng=2)
+    assert g.n == 400
+    assert g.m >= 1900  # dedup can trim slightly
+
+
+def test_erdos_renyi_narrow_degrees():
+    g = erdos_renyi_directed(2000, 20000, rng=4)
+    deg = g.in_degrees()
+    # Poisson-like: max degree within a few sigma of the mean
+    assert deg.max() < deg.mean() + 8 * np.sqrt(deg.mean())
+
+
+def test_powerlaw_cluster_has_hubs():
+    g = powerlaw_cluster_directed(1000, 8000, rng=6)
+    deg = np.sort(g.in_degrees())[::-1]
+    assert deg[:10].sum() > 0.1 * g.m  # top vertices absorb real in-share
+
+
+def test_generator_validation():
+    with pytest.raises(ValidationError):
+        powerlaw_configuration(1, 10)
+    with pytest.raises(ValidationError):
+        erdos_renyi_directed(1, 10)
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValidationError):
+        _powerlaw_degree_sequence(10, 20, 0.9, rng)
+
+
+def test_generators_deterministic_by_seed():
+    a = powerlaw_configuration(300, 1500, rng=11)
+    b = powerlaw_configuration(300, 1500, rng=11)
+    assert np.array_equal(a.indices, b.indices)
+    assert np.array_equal(a.indptr, b.indptr)

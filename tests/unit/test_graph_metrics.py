@@ -1,0 +1,92 @@
+import numpy as np
+import pytest
+
+from repro.graphs import DirectedGraph, load_dataset
+from repro.graphs.generators import erdos_renyi_directed, powerlaw_configuration
+from repro.graphs.metrics import (
+    GraphMetrics,
+    compute_metrics,
+    gini,
+    powerlaw_tail_exponent,
+    reciprocity,
+)
+from repro.utils.errors import ValidationError
+
+
+def test_gini_uniform_is_zero():
+    assert gini(np.full(100, 7.0)) == pytest.approx(0.0)
+
+
+def test_gini_extreme_concentration():
+    values = np.zeros(1000)
+    values[0] = 100.0
+    assert gini(values) > 0.99
+
+
+def test_gini_validation():
+    with pytest.raises(ValidationError):
+        gini(np.array([]))
+    with pytest.raises(ValidationError):
+        gini(np.array([-1.0]))
+    assert gini(np.zeros(5)) == 0.0
+
+
+def test_tail_exponent_recovers_pareto():
+    rng = np.random.default_rng(2)
+    alpha_true = 2.5
+    samples = np.floor(rng.pareto(alpha_true - 1.0, 200_000) + 1.0)
+    estimated = powerlaw_tail_exponent(samples)
+    assert abs(estimated - alpha_true) < 0.3
+
+
+def test_tail_exponent_no_tail():
+    assert powerlaw_tail_exponent(np.array([1, 1, 1])) == float("inf")
+
+
+def test_reciprocity_symmetric_graph():
+    g = DirectedGraph.from_edges([0, 1, 1, 2], [1, 0, 2, 1], n=3)
+    assert reciprocity(g) == 1.0
+
+
+def test_reciprocity_dag_is_zero():
+    g = DirectedGraph.from_edges([0, 1], [1, 2], n=3)
+    assert reciprocity(g) == 0.0
+
+
+def test_reciprocity_vectorized_path_matches_set_path():
+    g = powerlaw_configuration(400, 2000, rng=1, bidirectional=True)
+    small = reciprocity(g)
+    assert small == pytest.approx(1.0)
+
+
+def test_compute_metrics_fields():
+    g = powerlaw_configuration(500, 3000, rng=3)
+    metrics = compute_metrics(g)
+    assert isinstance(metrics, GraphMetrics)
+    assert metrics.n == 500 and metrics.m == g.m
+    assert metrics.avg_degree == pytest.approx(g.m / 500)
+    assert 0 <= metrics.zero_in_fraction <= 1
+    assert metrics.max_in_degree == g.in_degrees().max()
+    assert len(metrics.as_row()) == 8
+
+
+def test_distinguishes_generator_families():
+    """The calibration point: power-law graphs must show heavier tails
+    and higher degree inequality than ER graphs."""
+    pl = compute_metrics(powerlaw_configuration(2000, 12000, 2.0, 2.0, rng=4))
+    er = compute_metrics(erdos_renyi_directed(2000, 12000, rng=4))
+    assert pl.gini_in_degree > er.gini_in_degree
+    assert pl.max_in_degree > er.max_in_degree
+
+
+def test_undirected_dataset_high_reciprocity():
+    ca = compute_metrics(load_dataset("CA", "tiny", rng=1))
+    wv = compute_metrics(load_dataset("WV", "tiny", rng=1))
+    assert ca.reciprocity > 0.95
+    assert wv.reciprocity < 0.5
+
+
+def test_empty_graph_rejected():
+    g = DirectedGraph(np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int32))
+    with pytest.raises(ValidationError):
+        compute_metrics(g)

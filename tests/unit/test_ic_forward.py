@@ -1,0 +1,68 @@
+import numpy as np
+import pytest
+
+from repro.diffusion import simulate_ic
+from repro.graphs import DirectedGraph, assign_ic_weights
+from repro.utils.errors import ValidationError
+
+
+def test_p1_chain_activates_everything(line_graph):
+    g = line_graph.with_weights(np.ones(line_graph.m))
+    active = simulate_ic(g, [0], rng=0)
+    assert active.all()
+
+
+def test_p0_chain_activates_only_seed(line_graph):
+    g = line_graph.with_weights(np.zeros(line_graph.m))
+    active = simulate_ic(g, [0], rng=0)
+    assert active.sum() == 1 and active[0]
+
+
+def test_respects_edge_direction(line_graph):
+    g = line_graph.with_weights(np.ones(line_graph.m))
+    active = simulate_ic(g, [2], rng=0)
+    # influence flows forward only: 2 -> 3
+    assert list(np.flatnonzero(active)) == [2, 3]
+
+
+def test_seeds_always_active(small_ic_graph):
+    active = simulate_ic(small_ic_graph, [5, 10], rng=1)
+    assert active[5] and active[10]
+
+
+def test_empirical_rate_matches_probability():
+    # single edge with p = 0.3: activation frequency must approach 0.3
+    g = DirectedGraph.from_edges([0], [1], n=2, weights=[0.3])
+    rng = np.random.default_rng(11)
+    hits = sum(simulate_ic(g, [0], rng)[1] for _ in range(4000))
+    assert 0.27 < hits / 4000 < 0.33
+
+
+def test_diamond_union_probability(diamond_graph):
+    # both paths p=1 except the two final edges at 0.5:
+    # P(3 active) = 1 - 0.25 = 0.75
+    g = diamond_graph.with_weights(np.array([1.0, 1.0, 0.5, 0.5]))
+    rng = np.random.default_rng(5)
+    hits = sum(simulate_ic(g, [0], rng)[3] for _ in range(4000))
+    assert 0.71 < hits / 4000 < 0.79
+
+
+def test_requires_weights(line_graph):
+    with pytest.raises(ValidationError):
+        simulate_ic(line_graph, [0])
+
+
+def test_rejects_bad_seeds(small_ic_graph):
+    with pytest.raises(ValidationError):
+        simulate_ic(small_ic_graph, [small_ic_graph.n])
+
+
+def test_deterministic_given_rng(small_ic_graph):
+    a = simulate_ic(small_ic_graph, [0], rng=42)
+    b = simulate_ic(small_ic_graph, [0], rng=42)
+    assert np.array_equal(a, b)
+
+
+def test_empty_seed_list(small_ic_graph):
+    active = simulate_ic(small_ic_graph, [], rng=0)
+    assert active.sum() == 0

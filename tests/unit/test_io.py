@@ -1,0 +1,59 @@
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.graphs import load_edgelist, save_edgelist
+from repro.graphs.csc import DirectedGraph
+from repro.utils.errors import GraphFormatError
+
+
+def test_load_snap_format(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("# Directed graph\n# Nodes: 3 Edges: 2\n0\t1\n1\t2\n")
+    g = load_edgelist(path)
+    assert g.n == 3 and g.m == 2
+    assert list(g.in_neighbors(1)) == [0]
+
+
+def test_load_relabels_sparse_ids(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("100 200\n200 300\n")
+    g = load_edgelist(path)
+    assert g.n == 3 and g.m == 2
+
+
+def test_load_undirected_doubles_edges(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1\n")
+    g = load_edgelist(path, directed=False)
+    assert g.m == 2
+    assert list(g.in_neighbors(0)) == [1]
+
+
+def test_load_gzip(tmp_path):
+    path = tmp_path / "g.txt.gz"
+    with gzip.open(path, "wt") as fh:
+        fh.write("0 1\n1 0\n")
+    g = load_edgelist(path)
+    assert g.m == 2
+
+
+def test_load_rejects_malformed(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("0\n")
+    with pytest.raises(GraphFormatError):
+        load_edgelist(path)
+    path.write_text("a b\n")
+    with pytest.raises(GraphFormatError):
+        load_edgelist(path)
+
+
+def test_roundtrip(tmp_path):
+    g = DirectedGraph.from_edges([0, 2, 1, 3], [1, 1, 3, 0], n=4)
+    path = tmp_path / "out.txt"
+    save_edgelist(g, path, header="test graph")
+    g2 = load_edgelist(path, relabel=False)
+    assert g2.n == g.n and g2.m == g.m
+    assert np.array_equal(g2.indptr, g.indptr)
+    assert np.array_equal(g2.indices, g.indices)

@@ -1,0 +1,59 @@
+import numpy as np
+import pytest
+
+from repro.diffusion import simulate_lt
+from repro.graphs import DirectedGraph, assign_lt_weights
+from repro.utils.errors import ValidationError
+
+
+def test_threshold_semantics_deterministic():
+    # 0 -> 2 (w=0.6), 1 -> 2 (w=0.4); threshold 0.5 needs vertex 0 alone,
+    # threshold 0.9 needs both
+    g = DirectedGraph.from_edges([0, 1], [2, 2], n=3, weights=[0.6, 0.4])
+    thresholds = np.array([0.5, 0.5, 0.5])
+    assert simulate_lt(g, [0], thresholds=thresholds)[2]
+    assert not simulate_lt(g, [1], thresholds=thresholds)[2]
+    thresholds_high = np.array([0.9, 0.9, 0.9])
+    assert not simulate_lt(g, [0], thresholds=thresholds_high)[2]
+    assert simulate_lt(g, [0, 1], thresholds=thresholds_high)[2]
+
+
+def test_multi_step_propagation():
+    # chain with full weights and low thresholds cascades to the end
+    g = DirectedGraph.from_edges([0, 1, 2], [1, 2, 3], n=4, weights=[1.0, 1.0, 1.0])
+    active = simulate_lt(g, [0], thresholds=np.full(4, 0.8))
+    assert active.all()
+
+
+def test_weight_accumulation_across_steps():
+    # 0 -> 2 (0.5) and 1 -> 2 (0.5); 0 -> 1 (1.0); threshold(2)=0.9:
+    # step 1 activates 1 (via 0), step 2 pushes 2 over with 0.5+0.5
+    g = DirectedGraph.from_edges([0, 0, 1], [1, 2, 2], n=3,
+                                 weights=[1.0, 0.5, 0.5])
+    active = simulate_lt(g, [0], thresholds=np.array([0.1, 0.9, 0.9]))
+    assert active.all()
+
+
+def test_empirical_activation_rate():
+    # single edge weight 0.4: P(activate) = P(tau <= 0.4) = 0.4
+    g = DirectedGraph.from_edges([0], [1], n=2, weights=[0.4])
+    rng = np.random.default_rng(7)
+    hits = sum(simulate_lt(g, [0], rng)[1] for _ in range(4000))
+    assert 0.36 < hits / 4000 < 0.44
+
+
+def test_requires_weights(line_graph):
+    with pytest.raises(ValidationError):
+        simulate_lt(line_graph, [0])
+
+
+def test_threshold_shape_validated(small_lt_graph):
+    with pytest.raises(ValidationError):
+        simulate_lt(small_lt_graph, [0], thresholds=np.array([0.5]))
+
+
+def test_seeds_active_and_deterministic(small_lt_graph):
+    a = simulate_lt(small_lt_graph, [3, 4], rng=2)
+    b = simulate_lt(small_lt_graph, [3, 4], rng=2)
+    assert a[3] and a[4]
+    assert np.array_equal(a, b)

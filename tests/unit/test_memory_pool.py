@@ -1,0 +1,69 @@
+import pytest
+
+from repro.gpu.memory import GlobalMemoryPool
+from repro.utils.errors import DeviceOOMError, ValidationError
+
+
+def test_allocate_free_cycle():
+    pool = GlobalMemoryPool(1000)
+    a = pool.allocate(400, "x")
+    b = pool.allocate(600, "y")
+    assert pool.in_use == 1000 and pool.free_bytes == 0
+    pool.free(a)
+    assert pool.in_use == 600
+    c = pool.allocate(400, "z")
+    assert pool.peak == 1000
+    pool.free(b)
+    pool.free(c)
+    assert pool.in_use == 0
+
+
+def test_oom_raised_with_context():
+    pool = GlobalMemoryPool(100)
+    pool.allocate(80, "base")
+    with pytest.raises(DeviceOOMError) as exc:
+        pool.allocate(30, "overflow")
+    assert exc.value.in_use == 80
+    assert exc.value.capacity == 100
+    assert exc.value.requested == 30
+
+
+def test_exact_fit_allowed():
+    pool = GlobalMemoryPool(100)
+    pool.allocate(100, "all")
+    assert pool.free_bytes == 0
+
+
+def test_double_free_rejected():
+    pool = GlobalMemoryPool(100)
+    a = pool.allocate(10, "x")
+    pool.free(a)
+    with pytest.raises(ValidationError):
+        pool.free(a)
+
+
+def test_negative_allocation_rejected():
+    pool = GlobalMemoryPool(100)
+    with pytest.raises(ValidationError):
+        pool.allocate(-1)
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValidationError):
+        GlobalMemoryPool(0)
+
+
+def test_live_bytes_by_label():
+    pool = GlobalMemoryPool(1000)
+    pool.allocate(100, "graph")
+    pool.allocate(200, "rrr")
+    pool.allocate(50, "graph")
+    assert pool.live_bytes_by_label() == {"graph": 150, "rrr": 200}
+
+
+def test_peak_tracks_high_water_mark():
+    pool = GlobalMemoryPool(1000)
+    a = pool.allocate(700)
+    pool.free(a)
+    pool.allocate(100)
+    assert pool.peak == 700

@@ -1,0 +1,24 @@
+import pytest
+
+from repro.encoding.memory import MemoryReport, memory_report
+
+
+def test_percent_saved():
+    r = MemoryReport("x", 100, 60)
+    assert r.saved_bytes == 40
+    assert r.percent_saved == pytest.approx(40.0)
+
+
+def test_zero_raw_bytes():
+    assert MemoryReport("x", 0, 0).percent_saved == 0.0
+
+
+def test_addition_combines_components():
+    total = MemoryReport("a", 100, 50) + MemoryReport("b", 200, 100)
+    assert total.raw_bytes == 300 and total.packed_bytes == 150
+    assert total.percent_saved == pytest.approx(50.0)
+
+
+def test_constructor_validates():
+    with pytest.raises(ValueError):
+        memory_report("x", -1, 0)

@@ -1,0 +1,60 @@
+import numpy as np
+import pytest
+
+from repro.rrr.parallel import sample_rrr_parallel
+from repro.utils.errors import ValidationError
+
+
+def test_validation(small_ic_graph, line_graph):
+    with pytest.raises(ValidationError):
+        sample_rrr_parallel(line_graph, 10)
+    with pytest.raises(ValidationError):
+        sample_rrr_parallel(small_ic_graph, -1)
+    with pytest.raises(ValidationError):
+        sample_rrr_parallel(small_ic_graph, 10, n_jobs=0)
+
+
+def test_single_job_falls_through(small_ic_graph):
+    from repro.rrr import sample_rrr_ic
+
+    par, _ = sample_rrr_parallel(small_ic_graph, 200, rng=7, n_jobs=1)
+    ser, _ = sample_rrr_ic(small_ic_graph, 200, rng=7)
+    assert np.array_equal(par.flat, ser.flat)
+
+
+def test_parallel_counts_and_invariants(small_ic_graph):
+    coll, trace = sample_rrr_parallel(small_ic_graph, 600, rng=3, n_jobs=2)
+    assert coll.num_sets == 600
+    assert trace.kept >= 600
+    for i in range(0, 600, 47):
+        s = coll.set_at(i)
+        assert np.all(np.diff(s) > 0)
+        assert coll.sources[i] in s
+
+
+def test_parallel_deterministic_for_fixed_jobs(small_ic_graph):
+    a, _ = sample_rrr_parallel(small_ic_graph, 300, rng=11, n_jobs=2)
+    b, _ = sample_rrr_parallel(small_ic_graph, 300, rng=11, n_jobs=2)
+    assert np.array_equal(a.flat, b.flat)
+    assert np.array_equal(a.offsets, b.offsets)
+
+
+def test_parallel_matches_serial_distribution(small_ic_graph):
+    from repro.rrr import sample_rrr_ic
+
+    par, _ = sample_rrr_parallel(small_ic_graph, 4000, rng=5, n_jobs=2)
+    ser, _ = sample_rrr_ic(small_ic_graph, 4000, rng=6)
+    assert par.sizes().mean() == pytest.approx(ser.sizes().mean(), rel=0.1)
+
+
+def test_parallel_lt_model(small_lt_graph):
+    coll, _ = sample_rrr_parallel(small_lt_graph, 300, model="LT", rng=2, n_jobs=2)
+    assert coll.num_sets == 300
+
+
+def test_parallel_with_elimination(small_ic_graph):
+    coll, trace = sample_rrr_parallel(
+        small_ic_graph, 300, rng=4, n_jobs=2, eliminate_sources=True
+    )
+    assert coll.num_sets == 300
+    assert coll.empty_fraction() == 0.0

@@ -1,0 +1,39 @@
+from repro.experiments.rendering import Series, format_series, format_table
+
+
+def test_format_table_alignment():
+    out = format_table(["Name", "Val"], [["a", "1"], ["longer", "22"]], "T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "Name" in lines[1] and "Val" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert lines[3].startswith("a")
+    # right alignment of the numeric column
+    assert lines[3].endswith(" 1")
+
+
+def test_format_series_rows():
+    s1 = Series("alpha")
+    s2 = Series("beta")
+    for x in (1, 2):
+        s1.add(x, x * 1.0)
+        s2.add(x, x * 10.0)
+    out = format_series([s1, s2], "title", "x", "y")
+    assert "alpha" in out and "beta" in out
+    assert "10.00" in out
+
+
+def test_nan_renders_as_oom():
+    s = Series("s")
+    s.add("A", float("nan"))
+    out = format_series([s], "t", "x", "y")
+    assert "OOM" in out
+
+
+def test_large_and_small_numbers():
+    s = Series("s")
+    s.add("A", 123456.0)
+    s.add("B", 0.0001)
+    out = format_series([s], "t", "x", "y")
+    assert "1.23e+05" in out
+    assert "0.0001" in out

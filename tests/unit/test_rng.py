@@ -1,0 +1,44 @@
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generators
+
+
+def test_as_generator_from_int_is_deterministic():
+    a = as_generator(42).random(5)
+    b = as_generator(42).random(5)
+    assert np.array_equal(a, b)
+
+
+def test_as_generator_passthrough_shares_state():
+    gen = np.random.default_rng(7)
+    assert as_generator(gen) is gen
+
+
+def test_as_generator_none_gives_fresh_entropy():
+    a = as_generator(None).random(4)
+    b = as_generator(None).random(4)
+    assert not np.array_equal(a, b)
+
+
+def test_spawn_generators_independent_streams():
+    children = spawn_generators(3, 4)
+    draws = [c.random(8) for c in children]
+    for i in range(4):
+        for j in range(i + 1, 4):
+            assert not np.array_equal(draws[i], draws[j])
+
+
+def test_spawn_generators_deterministic_given_seed():
+    a = [g.random(3) for g in spawn_generators(11, 2)]
+    b = [g.random(3) for g in spawn_generators(11, 2)]
+    assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+def test_spawn_negative_count_rejected():
+    with pytest.raises(ValueError):
+        spawn_generators(0, -1)
+
+
+def test_spawn_zero_returns_empty():
+    assert spawn_generators(0, 0) == []

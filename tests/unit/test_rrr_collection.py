@@ -1,0 +1,99 @@
+import numpy as np
+import pytest
+
+from repro.rrr import RRRBuilder, RRRCollection
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture
+def coll():
+    return RRRCollection.from_sets(
+        [[0, 2], [1], [0, 1, 3], []], n=4, sources=[2, 1, 3, 0]
+    )
+
+
+def test_counts_track_occurrences(coll):
+    assert list(coll.counts) == [2, 2, 1, 1]
+
+
+def test_shape_queries(coll):
+    assert coll.num_sets == 4
+    assert coll.total_elements == 6
+    assert list(coll.sizes()) == [2, 1, 3, 0]
+    assert list(coll.set_at(2)) == [0, 1, 3]
+
+
+def test_fractions(coll):
+    assert coll.singleton_fraction() == 0.25
+    assert coll.empty_fraction() == 0.25
+
+
+def test_sets_containing(coll):
+    assert list(coll.sets_containing(0)) == [0, 2]
+    assert list(coll.sets_containing(3)) == [2]
+
+
+def test_coverage(coll):
+    assert coll.coverage([0]) == pytest.approx(0.5)
+    assert coll.coverage([0, 1]) == pytest.approx(0.75)  # empty set never covered
+    assert coll.coverage([]) == 0.0
+
+
+def test_from_sets_sorts_input():
+    c = RRRCollection.from_sets([[3, 1, 2]], n=4)
+    assert list(c.set_at(0)) == [1, 2, 3]
+
+
+def test_memory_accounting(coll):
+    raw = coll.nbytes_raw()
+    assert raw == 4 * 6 + 8 * 5 + 4 * 4
+    assert coll.nbytes_packed() < raw
+    report = coll.memory_report()
+    assert report.raw_bytes == raw
+
+
+def test_packed_roundtrip(coll):
+    packed_r, packed_o = coll.packed()
+    assert np.array_equal(packed_r.unpack(), coll.flat)
+    assert np.array_equal(packed_o.unpack(), coll.offsets)
+
+
+def test_prefix(coll):
+    p = coll.prefix(2)
+    assert p.num_sets == 2
+    assert list(p.counts) == [1, 1, 1, 0]
+    with pytest.raises(ValidationError):
+        coll.prefix(5)
+
+
+def test_validation_rejects_bad_offsets():
+    with pytest.raises(ValidationError):
+        RRRCollection(np.array([0]), np.array([1, 1]), n=2)
+    with pytest.raises(ValidationError):
+        RRRCollection(np.array([5]), np.array([0, 1]), n=2)
+
+
+def test_builder_accumulates_and_truncates():
+    b = RRRBuilder(n=5)
+    b.append_batch(np.array([0, 1, 2], dtype=np.int32), np.array([2, 1]), np.array([0, 2]))
+    b.append_batch(np.array([3, 4], dtype=np.int32), np.array([2]), np.array([4]))
+    assert b.num_sets == 3
+    b.truncate_to(2)
+    coll = b.finalize()
+    assert coll.num_sets == 2
+    assert coll.total_elements == 3
+    assert list(coll.sources) == [0, 2]
+
+
+def test_builder_validates_batches():
+    b = RRRBuilder(n=3)
+    with pytest.raises(ValidationError):
+        b.append_batch(np.array([0], dtype=np.int32), np.array([2]), np.array([1]))
+    with pytest.raises(ValidationError):
+        b.append_batch(np.array([0], dtype=np.int32), np.array([1]), np.array([1, 2]))
+
+
+def test_empty_builder():
+    coll = RRRBuilder(n=3).finalize()
+    assert coll.num_sets == 0 and coll.total_elements == 0
+    assert coll.coverage([0]) == 0.0

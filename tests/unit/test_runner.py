@@ -1,0 +1,65 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.engines.base import EngineResult
+from repro.experiments import ExperimentConfig, average_results, compare_engines
+
+CFG = ExperimentConfig(datasets=("WV", "EE"), sweep_theta_scale=0.1)
+
+
+def _result(cycles: float, oom: bool = False) -> EngineResult:
+    return EngineResult(
+        engine="eim", model="IC", k=5, epsilon=0.2,
+        seeds=None if oom else np.arange(5),
+        oom=oom, oom_detail="x" if oom else "",
+        total_cycles=float("nan") if oom else cycles,
+        seconds=float("nan") if oom else cycles / 1e9,
+        peak_device_bytes=100, rrr_store_bytes=50, theta=10,
+        coverage=float("nan") if oom else 0.5,
+    )
+
+
+def test_average_results_mean_cycles():
+    avg = average_results([_result(100.0), _result(200.0)])
+    assert avg.total_cycles == 150.0
+
+
+def test_average_results_oom_dominates():
+    avg = average_results([_result(100.0), _result(0, oom=True)])
+    assert avg.oom
+
+
+def test_compare_engines_end_to_end():
+    row = compare_engines("WV", 10, 0.2, "IC", CFG,
+                          bounds=CFG.bounds(sweep=True))
+    assert row.dataset == "WV" and row.model == "IC"
+    assert not row.eim.oom and not row.gim.oom
+    assert row.curipples is not None
+    assert row.speedup_vs_gim > 0
+    assert row.speedup_vs_curipples > row.speedup_vs_gim  # cuRipples slower
+    cell = row.table_cell_vs_gim()
+    assert "OOM" not in cell
+
+
+def test_compare_without_curipples():
+    row = compare_engines("EE", 5, 0.3, "IC", CFG, include_curipples=False,
+                          bounds=CFG.bounds(sweep=True))
+    assert row.curipples is None
+    assert math.isnan(row.speedup_vs_curipples)
+
+
+def test_oom_cell_format():
+    row = compare_engines("WV", 10, 0.2, "IC", CFG,
+                          include_curipples=False,
+                          device=CFG.device().scaled(3000),  # ~5 KB: everyone OOMs
+                          bounds=CFG.bounds(sweep=True))
+    assert row.eim.oom
+    assert row.table_cell_vs_gim() == "OOM(eIM)"
+
+
+def test_k_clamped_to_n():
+    row = compare_engines("WV", 10_000, 0.3, "IC", CFG, include_curipples=False,
+                          bounds=CFG.bounds(sweep=True))
+    assert row.k == CFG.graph("WV").n

@@ -1,0 +1,92 @@
+import numpy as np
+import pytest
+
+from repro.graphs import DirectedGraph, assign_ic_weights
+from repro.rrr import sample_rrr_ic
+from repro.utils.errors import ValidationError
+
+
+def test_requires_weights(small_ic_graph, line_graph):
+    with pytest.raises(ValidationError):
+        sample_rrr_ic(line_graph, 10)
+
+
+def test_exact_count_and_invariants(small_ic_graph):
+    coll, trace = sample_rrr_ic(small_ic_graph, 500, rng=1)
+    assert coll.num_sets == 500
+    sizes = coll.sizes()
+    assert sizes.min() >= 1  # every set contains its source
+    for i in (0, 100, 499):
+        s = coll.set_at(i)
+        assert np.all(np.diff(s) > 0)  # sorted, unique
+        assert coll.sources[i] in s
+
+
+def test_deterministic_chain_reverse_reachability():
+    # chain 0->1->2 with p=1: RRR set of source v is {0..v}
+    g = DirectedGraph.from_edges([0, 1], [1, 2], n=3, weights=[1.0, 1.0])
+    coll, _ = sample_rrr_ic(g, 300, rng=5)
+    for i in range(coll.num_sets):
+        src = coll.sources[i]
+        assert list(coll.set_at(i)) == list(range(src + 1))
+
+
+def test_zero_probability_gives_singletons(small_ic_graph):
+    g = small_ic_graph.with_weights(np.zeros(small_ic_graph.m))
+    coll, trace = sample_rrr_ic(g, 200, rng=2)
+    assert coll.singleton_fraction() == 1.0
+    assert trace.raw_singleton_fraction == 1.0
+
+
+def test_ris_identity_estimates_spread(small_ic_graph):
+    from repro.diffusion import estimate_spread
+
+    coll, _ = sample_rrr_ic(small_ic_graph, 30_000, rng=3)
+    v = int(np.argmax(coll.counts))
+    ris_estimate = small_ic_graph.n * coll.counts[v] / coll.num_sets
+    mc = estimate_spread(small_ic_graph, [v], "IC", 1500, rng=4)
+    assert abs(ris_estimate - mc) / max(mc, 1.0) < 0.15
+
+
+def test_source_elimination_drops_singletons(small_ic_graph):
+    coll, trace = sample_rrr_ic(small_ic_graph, 400, rng=6, eliminate_sources=True)
+    assert coll.num_sets == 400
+    assert coll.empty_fraction() == 0.0
+    assert trace.discarded_empty > 0
+    # sources must not appear in their own sets
+    for i in range(0, 400, 37):
+        assert coll.sources[i] not in coll.set_at(i)
+
+
+def test_source_elimination_on_edgeless_graph_raises():
+    g = DirectedGraph(np.zeros(11, dtype=np.int64), np.empty(0, dtype=np.int32),
+                      weights=np.empty(0))
+    with pytest.raises(ValidationError, match="source elimination"):
+        sample_rrr_ic(g, 50, rng=1, eliminate_sources=True)
+
+
+def test_trace_accounting(small_ic_graph):
+    coll, trace = sample_rrr_ic(small_ic_graph, 300, rng=7)
+    assert trace.attempted >= 300
+    assert trace.kept == trace.attempted  # no elimination
+    assert trace.total_stored_elements() == trace.sizes.sum()
+    assert trace.edges_examined.min() >= 0
+    # every multi-vertex set must have examined at least one edge
+    assert np.all(trace.edges_examined[trace.sizes > 1] >= 1)
+
+
+def test_zero_sets_requested(small_ic_graph):
+    coll, trace = sample_rrr_ic(small_ic_graph, 0, rng=1)
+    assert coll.num_sets == 0 and trace.attempted == 0
+
+
+def test_negative_rejected(small_ic_graph):
+    with pytest.raises(ValidationError):
+        sample_rrr_ic(small_ic_graph, -1)
+
+
+def test_deterministic_by_seed(small_ic_graph):
+    a, _ = sample_rrr_ic(small_ic_graph, 100, rng=9)
+    b, _ = sample_rrr_ic(small_ic_graph, 100, rng=9)
+    assert np.array_equal(a.flat, b.flat)
+    assert np.array_equal(a.offsets, b.offsets)

@@ -1,0 +1,94 @@
+import numpy as np
+import pytest
+
+from repro.graphs import DirectedGraph, assign_lt_weights
+from repro.rrr import sample_rrr_lt
+from repro.rrr.sampler_lt import _build_selection_index
+from repro.utils.errors import ValidationError
+
+
+def test_requires_weights(line_graph):
+    with pytest.raises(ValidationError):
+        sample_rrr_lt(line_graph, 10)
+
+
+def test_invariants(small_lt_graph):
+    coll, trace = sample_rrr_lt(small_lt_graph, 400, rng=1)
+    assert coll.num_sets == 400
+    for i in (0, 123, 399):
+        s = coll.set_at(i)
+        assert np.all(np.diff(s) > 0)
+        assert coll.sources[i] in s
+
+
+def test_selection_index_globally_sorted(small_lt_graph):
+    idx = _build_selection_index(small_lt_graph)
+    assert np.all(np.diff(idx) >= 0)
+
+
+def test_selection_index_handles_zero_weight_segments():
+    g = DirectedGraph.from_edges([0, 1], [2, 2], n=3, weights=[0.0, 0.0])
+    idx = _build_selection_index(g)
+    assert np.all(np.diff(idx) >= 0)
+
+
+def test_walk_follows_unique_in_neighbor():
+    # chain 0 -> 1 -> 2 with weight 1: reverse walk from 2 visits all
+    g = DirectedGraph.from_edges([0, 1], [1, 2], n=3, weights=[1.0, 1.0])
+    coll, _ = sample_rrr_lt(g, 200, rng=3)
+    for i in range(coll.num_sets):
+        src = coll.sources[i]
+        assert list(coll.set_at(i)) == list(range(src + 1))
+
+
+def test_walk_stops_on_low_total_weight():
+    # single in-edge with weight 0.2: P(walk continues) = 0.2
+    g = DirectedGraph.from_edges([0], [1], n=2, weights=[0.2])
+    coll, _ = sample_rrr_lt(g, 4000, rng=4)
+    from_source_1 = coll.sources == 1
+    extended = np.asarray(
+        [coll.set_at(i).size == 2 for i in np.flatnonzero(from_source_1)]
+    )
+    assert 0.16 < extended.mean() < 0.24
+
+
+def test_neighbor_choice_proportional_to_weight():
+    # vertex 2 has in-neighbors 0 (w=0.75) and 1 (w=0.25)
+    g = DirectedGraph.from_edges([0, 1], [2, 2], n=3, weights=[0.75, 0.25])
+    coll, _ = sample_rrr_lt(g, 6000, rng=5)
+    picked0 = picked1 = 0
+    for i in range(coll.num_sets):
+        if coll.sources[i] != 2:
+            continue
+        s = set(coll.set_at(i).tolist())
+        if 0 in s:
+            picked0 += 1
+        if 1 in s:
+            picked1 += 1
+    total = picked0 + picked1
+    assert total > 500
+    assert 0.70 < picked0 / total < 0.80
+
+
+def test_lt_rrr_matches_forward_influence(small_lt_graph):
+    from repro.diffusion import estimate_spread
+
+    coll, _ = sample_rrr_lt(small_lt_graph, 30_000, rng=6)
+    v = int(np.argmax(coll.counts))
+    ris = small_lt_graph.n * coll.counts[v] / coll.num_sets
+    mc = estimate_spread(small_lt_graph, [v], "LT", 1500, rng=7)
+    assert abs(ris - mc) / max(mc, 1.0) < 0.15
+
+
+def test_source_elimination(small_lt_graph):
+    coll, trace = sample_rrr_lt(small_lt_graph, 300, rng=8, eliminate_sources=True)
+    assert coll.num_sets == 300
+    assert coll.empty_fraction() == 0.0
+    for i in range(0, 300, 29):
+        assert coll.sources[i] not in coll.set_at(i)
+
+
+def test_deterministic_by_seed(small_lt_graph):
+    a, _ = sample_rrr_lt(small_lt_graph, 150, rng=11)
+    b, _ = sample_rrr_lt(small_lt_graph, 150, rng=11)
+    assert np.array_equal(a.flat, b.flat)

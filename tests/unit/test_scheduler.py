@@ -1,0 +1,49 @@
+import numpy as np
+import pytest
+
+from repro.gpu.scheduler import makespan
+from repro.utils.errors import ValidationError
+
+
+def test_single_worker_sums():
+    assert makespan(np.array([1.0, 2.0, 3.0]), 1) == 6.0
+
+
+def test_fewer_items_than_workers():
+    assert makespan(np.array([5.0, 1.0]), 8) == 5.0
+
+
+def test_list_scheduling_order_dependence():
+    # arrival order [3,3,3,1] on 2 workers: 3+3 vs 3+1 -> makespan 6
+    assert makespan(np.array([3.0, 3.0, 3.0, 1.0]), 2) == 6.0
+
+
+def test_perfect_balance():
+    costs = np.ones(100)
+    assert makespan(costs, 10) == 10.0
+
+
+def test_lower_bounds_respected():
+    rng = np.random.default_rng(0)
+    costs = rng.random(500) * 10
+    for workers in (3, 7, 16):
+        ms = makespan(costs, workers)
+        assert ms >= costs.sum() / workers - 1e-9
+        assert ms >= costs.max()
+        assert ms <= costs.sum() / workers + costs.max()
+
+
+def test_analytic_fallback_close_to_exact():
+    rng = np.random.default_rng(1)
+    costs = rng.exponential(1.0, 50_000)
+    exact = makespan(costs, 64)
+    approx = makespan(costs, 64, exact_limit=1000)
+    assert abs(approx - exact) / exact < 0.05
+
+
+def test_empty_and_validation():
+    assert makespan(np.array([]), 4) == 0.0
+    with pytest.raises(ValidationError):
+        makespan(np.array([1.0]), 0)
+    with pytest.raises(ValidationError):
+        makespan(np.array([-1.0]), 2)

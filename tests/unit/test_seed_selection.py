@@ -1,0 +1,97 @@
+import numpy as np
+import pytest
+
+from repro.imm import select_seeds
+from repro.rrr import RRRCollection, sample_rrr_ic
+from repro.utils.errors import ValidationError
+
+
+def _coll(sets, n):
+    return RRRCollection.from_sets(sets, n=n)
+
+
+def test_picks_max_count_vertex_first():
+    coll = _coll([[0, 1], [1, 2], [1], [3]], n=4)
+    res = select_seeds(coll, 1)
+    assert res.seeds[0] == 1
+    assert res.covered_sets == 3
+    assert res.coverage_fraction == pytest.approx(0.75)
+
+
+def test_marginal_gains_after_removal():
+    # after picking 1 (covers 3 sets), vertex 3 covers the remaining set
+    coll = _coll([[0, 1], [1, 2], [1], [3]], n=4)
+    res = select_seeds(coll, 2)
+    assert list(res.seeds) == [1, 3]
+    assert list(res.marginal_gains) == [3, 1]
+    assert res.covered_sets == 4
+
+
+def test_counts_are_marginal_not_absolute():
+    # vertex 0 appears in 3 sets, but all are covered by vertex 1 too;
+    # vertex 2 covers two fresh sets and must be picked second
+    coll = _coll(
+        [[0, 1], [0, 1], [0, 1], [2, 3], [2]], n=4
+    )
+    res = select_seeds(coll, 2)
+    assert list(res.seeds) == [0, 2]  # 0 wins tie against 1 (lower id)
+    assert res.covered_sets == 5
+
+
+def test_tie_break_lowest_id():
+    coll = _coll([[5], [7]], n=8)
+    res = select_seeds(coll, 1)
+    assert res.seeds[0] == 5
+
+
+def test_reference_matches_fast_on_random_samples(small_ic_graph):
+    coll, _ = sample_rrr_ic(small_ic_graph, 600, rng=3)
+    fast = select_seeds(coll, 8, "fast")
+    ref = select_seeds(coll, 8, "reference")
+    assert np.array_equal(fast.seeds, ref.seeds)
+    assert fast.covered_sets == ref.covered_sets
+    assert np.array_equal(fast.marginal_gains, ref.marginal_gains)
+    assert np.array_equal(fast.stats.sets_scanned, ref.stats.sets_scanned)
+    assert np.array_equal(fast.stats.sets_found, ref.stats.sets_found)
+    assert np.array_equal(
+        fast.stats.elements_decremented, ref.stats.elements_decremented
+    )
+
+
+def test_selection_stats_shapes():
+    coll = _coll([[0], [1], [0, 1]], n=3)
+    res = select_seeds(coll, 2)
+    assert res.stats.sets_scanned.shape == (2,)
+    assert res.stats.sets_scanned[0] == 3
+    assert res.stats.total_scans() >= 3
+    assert res.stats.avg_set_size == pytest.approx(4 / 3)
+
+
+def test_gain_sequence_non_increasing(small_ic_graph):
+    coll, _ = sample_rrr_ic(small_ic_graph, 2000, rng=5)
+    res = select_seeds(coll, 12)
+    gains = res.marginal_gains
+    assert np.all(gains[:-1] >= gains[1:])  # greedy max-coverage is submodular
+
+
+def test_empty_sets_never_covered():
+    coll = RRRCollection.from_sets([[], [], [0]], n=2)
+    res = select_seeds(coll, 1)
+    assert res.covered_sets == 1
+
+
+def test_validation():
+    coll = _coll([[0]], n=2)
+    with pytest.raises(ValidationError):
+        select_seeds(coll, 0)
+    with pytest.raises(ValidationError):
+        select_seeds(coll, 3)
+    with pytest.raises(ValidationError):
+        select_seeds(coll, 1, strategy="quantum")
+
+
+def test_k_larger_than_useful_vertices():
+    coll = _coll([[0], [0]], n=3)
+    res = select_seeds(coll, 3)
+    assert res.seeds.size == 3
+    assert res.covered_sets == 2

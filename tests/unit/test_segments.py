@@ -1,0 +1,33 @@
+import numpy as np
+
+from repro.utils.segments import segment_ids, segmented_arange
+
+
+def test_segmented_arange_basic():
+    out = segmented_arange(np.array([10, 20]), np.array([3, 2]))
+    assert list(out) == [10, 11, 12, 20, 21]
+
+
+def test_segmented_arange_with_zero_length_segments():
+    out = segmented_arange(np.array([5, 7, 9]), np.array([0, 2, 0]))
+    assert list(out) == [7, 8]
+
+
+def test_segmented_arange_empty():
+    out = segmented_arange(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+    assert out.size == 0
+
+
+def test_segmented_arange_matches_naive():
+    rng = np.random.default_rng(0)
+    starts = rng.integers(0, 1000, size=50)
+    lengths = rng.integers(0, 20, size=50)
+    expected = np.concatenate(
+        [np.arange(s, s + l) for s, l in zip(starts, lengths)]
+    ) if lengths.sum() else np.empty(0, dtype=np.int64)
+    assert np.array_equal(segmented_arange(starts, lengths), expected)
+
+
+def test_segment_ids():
+    out = segment_ids(np.array([2, 0, 3]))
+    assert list(out) == [0, 0, 2, 2, 2]

@@ -1,0 +1,68 @@
+import numpy as np
+import pytest
+
+from repro.graphs import assign_ic_weights
+from repro.graphs.generators import powerlaw_configuration
+from repro.rrr import sample_rrr_ic
+from repro.utils.errors import ValidationError
+from repro.utils.serialization import (
+    load_collection,
+    load_graph,
+    save_collection,
+    save_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return assign_ic_weights(powerlaw_configuration(200, 1200, rng=9))
+
+
+def test_graph_roundtrip(tmp_path, graph):
+    path = tmp_path / "g.npz"
+    save_graph(graph, path)
+    loaded = load_graph(path)
+    assert np.array_equal(loaded.indptr, graph.indptr)
+    assert np.array_equal(loaded.indices, graph.indices)
+    assert np.allclose(loaded.weights, graph.weights)
+
+
+def test_unweighted_graph_roundtrip(tmp_path):
+    g = powerlaw_configuration(100, 500, rng=1)
+    path = tmp_path / "g.npz"
+    save_graph(g, path)
+    assert load_graph(path).weights is None
+
+
+def test_collection_roundtrip(tmp_path, graph):
+    coll, _ = sample_rrr_ic(graph, 300, rng=2)
+    path = tmp_path / "r.npz"
+    save_collection(coll, path)
+    loaded = load_collection(path)
+    assert np.array_equal(loaded.flat, coll.flat)
+    assert np.array_equal(loaded.offsets, coll.offsets)
+    assert np.array_equal(loaded.counts, coll.counts)
+    assert np.array_equal(loaded.sources, coll.sources)
+    assert loaded.n == coll.n
+
+
+def test_loaded_collection_usable_for_selection(tmp_path, graph):
+    from repro.imm import select_seeds
+
+    coll, _ = sample_rrr_ic(graph, 500, rng=3)
+    path = tmp_path / "r.npz"
+    save_collection(coll, path)
+    a = select_seeds(coll, 5)
+    b = select_seeds(load_collection(path), 5)
+    assert np.array_equal(a.seeds, b.seeds)
+
+
+def test_format_tags_rejected_crosswise(tmp_path, graph):
+    coll, _ = sample_rrr_ic(graph, 10, rng=4)
+    gpath, cpath = tmp_path / "g.npz", tmp_path / "c.npz"
+    save_graph(graph, gpath)
+    save_collection(coll, cpath)
+    with pytest.raises(ValidationError):
+        load_collection(gpath)
+    with pytest.raises(ValidationError):
+        load_graph(cpath)

@@ -1,0 +1,89 @@
+import numpy as np
+import pytest
+
+from repro.gpu.simt.machine import DeviceArrays, OpCounts, WarpContext
+from repro.utils.errors import ValidationError
+
+
+def test_op_counts_merge():
+    a = OpCounts(global_reads=1, atomics=2)
+    b = OpCounts(global_reads=3, rng_draws=5)
+    merged = a.merged(b)
+    assert merged.global_reads == 4
+    assert merged.atomics == 2 and merged.rng_draws == 5
+
+
+def test_device_arrays_growth():
+    dev = DeviceArrays(n=10, theta=2, queue_capacity=10)
+    initial = dev.R.size
+    dev.ensure_r_capacity(initial * 3)
+    assert dev.R.size >= initial * 3
+    with pytest.raises(ValidationError):
+        DeviceArrays(n=0, theta=1, queue_capacity=4)
+
+
+def test_warp_shfl_up_semantics():
+    ctx = WarpContext(8, rng=0)
+    values = np.arange(8.0)
+    shifted = ctx.shfl_up(values, 2)
+    assert list(shifted[:2]) == [0.0, 1.0]  # low lanes keep their own
+    assert list(shifted[2:]) == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_warp_inclusive_scan_equals_cumsum():
+    ctx = WarpContext(32, rng=0)
+    values = np.random.default_rng(1).random(32)
+    scanned = ctx.inclusive_scan(values)
+    assert np.allclose(scanned, np.cumsum(values))
+    assert ctx.ops.shuffles == 5  # log2(32) rounds
+
+
+def test_ballot_mask():
+    ctx = WarpContext(8, rng=0)
+    mask = ctx.ballot(np.array([1, 0, 0, 1, 0, 0, 0, 1], dtype=bool))
+    assert mask == 0b10001001
+
+
+def test_atomic_add_scalar_returns_old():
+    class Obj:
+        offset = 10
+
+    ctx = WarpContext(4, rng=0)
+    obj = Obj()
+    assert ctx.atomic_add_scalar(obj, "offset", 5) == 10
+    assert obj.offset == 15
+    assert ctx.ops.atomics == 1
+
+
+def test_atomic_enqueue_serializes_in_lane_order():
+    class Obj:
+        tail = 0
+
+    ctx = WarpContext(4, rng=0)
+    queue = np.zeros(8, dtype=np.int64)
+    values = np.array([10, 20, 30, 40])
+    active = np.array([True, False, True, True])
+    obj = Obj()
+    ctx.atomic_enqueue(active, values, queue, obj, "tail")
+    assert obj.tail == 3
+    assert list(queue[:3]) == [10, 30, 40]
+
+
+def test_atomic_add_array():
+    ctx = WarpContext(4, rng=0)
+    arr = np.zeros(5, dtype=np.int64)
+    ctx.atomic_add_array(arr, np.array([1, 1, 3, 4]),
+                         np.array([True, True, True, False]), 1)
+    assert list(arr) == [0, 2, 0, 1, 0]
+    assert ctx.ops.atomics == 3
+
+
+def test_lane_random_counts_whole_warp():
+    ctx = WarpContext(32, rng=0)
+    ctx.lane_random(np.zeros(32, dtype=bool))
+    assert ctx.ops.rng_draws == 32  # inactive lanes still issue
+
+
+def test_warp_size_validation():
+    with pytest.raises(ValidationError):
+        WarpContext(0)

@@ -1,0 +1,43 @@
+import numpy as np
+import pytest
+
+from repro.rrr import RRRCollection, eliminate_sources_post_hoc, sample_rrr_ic
+from repro.utils.errors import ValidationError
+
+
+def test_strips_sources_and_drops_empties():
+    coll = RRRCollection.from_sets(
+        [[0, 2], [1], [0, 1, 3]], n=4, sources=[2, 1, 3]
+    )
+    out = eliminate_sources_post_hoc(coll)
+    assert out.num_sets == 2  # the singleton {1} emptied and was dropped
+    assert list(out.set_at(0)) == [0]
+    assert list(out.set_at(1)) == [0, 1]
+
+
+def test_keep_empty_option():
+    coll = RRRCollection.from_sets([[1]], n=3, sources=[1])
+    out = eliminate_sources_post_hoc(coll, drop_empty=False)
+    assert out.num_sets == 1
+    assert out.sizes()[0] == 0
+
+
+def test_requires_sources():
+    coll = RRRCollection.from_sets([[0]], n=2)
+    with pytest.raises(ValidationError):
+        eliminate_sources_post_hoc(coll)
+
+
+def test_matches_inline_elimination(small_ic_graph):
+    """Post-hoc elimination of a vanilla sample equals what the inline
+    sampler produces for the same generated sets."""
+    vanilla, _ = sample_rrr_ic(small_ic_graph, 500, rng=42)
+    stripped = eliminate_sources_post_hoc(vanilla)
+    # counts drop by exactly the number of surviving sets' sources removed
+    assert stripped.total_elements == vanilla.total_elements - vanilla.num_sets
+    assert stripped.num_sets == vanilla.num_sets - int(
+        (vanilla.sizes() == 1).sum()
+    )
+    # no set retains its source
+    for i in range(0, stripped.num_sets, 41):
+        assert stripped.sources[i] not in stripped.set_at(i)

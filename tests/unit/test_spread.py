@@ -1,0 +1,53 @@
+import numpy as np
+import pytest
+
+from repro.diffusion import estimate_spread, exact_spread_ic
+from repro.graphs import DirectedGraph
+from repro.utils.errors import ValidationError
+
+
+def test_exact_spread_single_edge():
+    g = DirectedGraph.from_edges([0], [1], n=2, weights=[0.3])
+    assert exact_spread_ic(g, [0]) == pytest.approx(1.3)
+
+
+def test_exact_spread_diamond():
+    g = DirectedGraph.from_edges([0, 0, 1, 2], [1, 2, 3, 3], n=4,
+                                 weights=[0.5, 0.5, 1.0, 1.0])
+    # E = 1 + 0.5 + 0.5 + P(3) where P(3) = 1 - 0.25 = 0.75
+    assert exact_spread_ic(g, [0]) == pytest.approx(2.75)
+
+
+def test_monte_carlo_matches_exact():
+    g = DirectedGraph.from_edges([0, 0, 1], [1, 2, 2], n=3,
+                                 weights=[0.4, 0.6, 0.5])
+    exact = exact_spread_ic(g, [0])
+    mc = estimate_spread(g, [0], "IC", num_samples=8000, rng=13)
+    assert abs(mc - exact) < 0.06
+
+
+def test_exact_rejects_large_graphs():
+    g = DirectedGraph.from_edges(
+        list(range(0, 21)), list(range(1, 22)), n=23,
+        weights=[0.5] * 21,
+    )
+    with pytest.raises(ValidationError):
+        exact_spread_ic(g, [0])
+
+
+def test_estimate_spread_validates_model(small_ic_graph):
+    with pytest.raises(ValidationError):
+        estimate_spread(small_ic_graph, [0], model="SIR")
+    with pytest.raises(ValidationError):
+        estimate_spread(small_ic_graph, [0], num_samples=0)
+
+
+def test_spread_monotone_in_seeds(small_ic_graph):
+    few = estimate_spread(small_ic_graph, [0], "IC", 400, rng=3)
+    more = estimate_spread(small_ic_graph, [0, 1, 2, 3, 4], "IC", 400, rng=3)
+    assert more >= few
+
+
+def test_lt_model_path(small_lt_graph):
+    spread = estimate_spread(small_lt_graph, [0, 1], "LT", 100, rng=4)
+    assert spread >= 2.0

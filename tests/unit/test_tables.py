@@ -1,0 +1,55 @@
+import pytest
+
+from repro.experiments import ExperimentConfig, tables
+
+CFG = ExperimentConfig(datasets=("WV", "EE"), sweep_theta_scale=0.08)
+
+
+def test_table1_lists_stats():
+    res = tables.table1_datasets(CFG)
+    out = res.render()
+    assert "wiki-Vote" in out and "email-EuAll" in out
+    assert "8,298" in out  # paper-scale vertices
+    assert len(res.rows) == 2
+
+
+def test_table2_shape_and_cells():
+    res = tables.table2_ic_k_sweep(CFG)
+    assert res.headers[0] == "Dataset"
+    assert res.headers[1:] == ["k=20", "k=40", "k=60", "k=80", "k=100"]
+    assert len(res.rows) == 2
+    assert ("WV", 20) in res.cells
+    # every cell is either a speedup number or an OOM marker
+    for row in res.rows:
+        for cell in row[1:]:
+            assert cell.replace(".", "").replace("OOM/", "").replace("OOM(eIM)", "0").replace("-", "").isdigit() or "OOM" in cell
+
+
+def test_table2_speedup_grows_with_k():
+    res = tables.table2_ic_k_sweep(CFG)
+    row = res.cells[("EE", 20)], res.cells[("EE", 100)]
+    if not (row[0].gim.oom or row[1].gim.oom):
+        assert row[1].speedup_vs_gim > row[0].speedup_vs_gim * 0.7
+
+
+def test_table3_eps_sweep_headers():
+    cfg = ExperimentConfig(datasets=("WV",), sweep_theta_scale=0.08)
+    res = tables.table3_ic_eps_sweep(cfg)
+    assert res.headers[1] == "eps=0.5"
+    assert res.headers[-1] == "eps=0.05"
+    assert len(res.cells) == 10
+
+
+@pytest.mark.slow
+def test_table4_lt_k_sweep():
+    cfg = ExperimentConfig(datasets=("WV",), sweep_theta_scale=0.08)
+    res = tables.table4_lt_k_sweep(cfg)
+    assert len(res.cells) == 5
+    assert "LT" in res.title
+
+
+@pytest.mark.slow
+def test_table5_lt_eps_sweep():
+    cfg = ExperimentConfig(datasets=("WV",), sweep_theta_scale=0.08)
+    res = tables.table5_lt_eps_sweep(cfg)
+    assert len(res.cells) == 10

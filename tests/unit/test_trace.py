@@ -1,0 +1,41 @@
+import numpy as np
+
+from repro.rrr.trace import SampleTrace, empty_trace
+
+
+def _trace(sizes, kept=None):
+    sizes = np.asarray(sizes, dtype=np.int64)
+    kept = np.ones(sizes.size, dtype=bool) if kept is None else np.asarray(kept)
+    return SampleTrace(
+        sizes=sizes,
+        rounds=np.ones_like(sizes),
+        edges_examined=sizes * 2,
+        kept_mask=kept,
+        raw_singletons=int((sizes == 1).sum()),
+        sources=np.zeros_like(sizes),
+    )
+
+
+def test_counters():
+    t = _trace([1, 3, 2], kept=[True, True, False])
+    assert t.attempted == 3
+    assert t.kept == 2
+    assert t.discarded_empty == 1
+    assert t.raw_singleton_fraction == 1 / 3
+    assert t.total_edges_examined() == 12
+    assert t.total_stored_elements() == 4
+
+
+def test_merge():
+    merged = _trace([1, 2]).merged_with(_trace([3]))
+    assert merged.attempted == 3
+    assert merged.raw_singletons == 1
+    assert merged.total_stored_elements() == 6
+
+
+def test_empty_trace_identity():
+    t = empty_trace()
+    assert t.attempted == 0
+    assert t.raw_singleton_fraction == 0.0
+    merged = t.merged_with(_trace([5]))
+    assert merged.attempted == 1

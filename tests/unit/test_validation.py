@@ -1,0 +1,65 @@
+import numpy as np
+import pytest
+
+from repro.utils.errors import (
+    DeviceOOMError,
+    GraphFormatError,
+    ReproError,
+    ValidationError,
+)
+from repro.utils.validation import (
+    as_int_array,
+    check_positive,
+    check_probability,
+    require,
+)
+
+
+def test_require_passes_and_fails():
+    require(True, "never raised")
+    with pytest.raises(ValidationError, match="boom"):
+        require(False, "boom")
+
+
+def test_as_int_array_accepts_integral_floats():
+    out = as_int_array([1.0, 2.0, 3.0], "x")
+    assert out.dtype == np.int64
+    assert list(out) == [1, 2, 3]
+
+
+def test_as_int_array_rejects_fractional():
+    with pytest.raises(ValidationError):
+        as_int_array([1.5], "x")
+
+
+def test_as_int_array_rejects_2d():
+    with pytest.raises(ValidationError):
+        as_int_array(np.zeros((2, 2)), "x")
+
+
+def test_check_probability_bounds():
+    assert check_probability(0.0, "p") == 0.0
+    assert check_probability(1.0, "p") == 1.0
+    with pytest.raises(ValidationError):
+        check_probability(1.01, "p")
+    with pytest.raises(ValidationError):
+        check_probability(-0.01, "p")
+
+
+def test_check_positive():
+    assert check_positive(2.5, "x") == 2.5
+    with pytest.raises(ValidationError):
+        check_positive(0.0, "x")
+
+
+def test_error_hierarchy():
+    assert issubclass(ValidationError, ReproError)
+    assert issubclass(ValidationError, ValueError)
+    assert issubclass(GraphFormatError, ReproError)
+    assert issubclass(DeviceOOMError, MemoryError)
+
+
+def test_device_oom_message_fields():
+    err = DeviceOOMError(100, 50, 120, "rrr")
+    assert err.requested == 100 and err.in_use == 50 and err.capacity == 120
+    assert "rrr" in str(err)

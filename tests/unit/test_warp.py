@@ -1,0 +1,72 @@
+import numpy as np
+import pytest
+
+from repro.gpu.warp import (
+    lt_select_activating_lane,
+    warp_ballot,
+    warp_inclusive_scan,
+    warp_reduce_sum,
+)
+from repro.utils.errors import ValidationError
+
+
+def test_inclusive_scan_matches_cumsum():
+    values = np.arange(1.0, 33.0)
+    scanned, rounds = warp_inclusive_scan(values)
+    assert np.allclose(scanned, np.cumsum(values))
+    assert rounds == 5  # log2(32) shuffle rounds, as §3.3 describes
+
+
+def test_scan_partial_warp():
+    scanned, rounds = warp_inclusive_scan(np.array([2.0, 3.0, 4.0]))
+    assert np.allclose(scanned, [2.0, 5.0, 9.0])
+    assert rounds == 2
+
+
+def test_scan_rejects_oversized():
+    with pytest.raises(ValidationError):
+        warp_inclusive_scan(np.ones(33))
+
+
+def test_reduce_sum():
+    total, rounds = warp_reduce_sum(np.ones(32))
+    assert total == 32.0
+    assert rounds == 5
+    assert warp_reduce_sum(np.array([]))[0] == 0.0
+
+
+def test_ballot():
+    mask = warp_ballot(np.array([True, False, True, True]))
+    assert mask == 0b1101
+    with pytest.raises(ValidationError):
+        warp_ballot(np.ones(40, dtype=bool))
+
+
+def test_lt_lane_selection_first_crossing():
+    weights = np.array([0.2, 0.3, 0.4, 0.1])
+    # inclusive sums: 0.2 0.5 0.9 1.0
+    lane, rounds = lt_select_activating_lane(weights, tau=0.45)
+    assert lane == 1
+    lane, _ = lt_select_activating_lane(weights, tau=0.95)
+    assert lane == 3
+    lane, _ = lt_select_activating_lane(weights, tau=0.1)
+    assert lane == 0
+
+
+def test_lt_lane_selection_no_crossing():
+    lane, _ = lt_select_activating_lane(np.array([0.1, 0.2]), tau=0.9)
+    assert lane == -1
+
+
+def test_lt_lane_matches_searchsorted_semantics():
+    rng = np.random.default_rng(5)
+    for _ in range(50):
+        w = rng.random(rng.integers(1, 33))
+        w /= w.sum() * rng.uniform(1.0, 2.0)  # total <= 1
+        tau = rng.random()
+        lane, _ = lt_select_activating_lane(w, tau)
+        cum = np.cumsum(w)
+        expected = int(np.searchsorted(cum, tau)) if tau <= cum[-1] else -1
+        if expected == len(w):
+            expected = -1
+        assert lane == expected

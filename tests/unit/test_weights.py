@@ -1,0 +1,65 @@
+import numpy as np
+import pytest
+
+from repro.graphs import assign_ic_weights, assign_lt_weights
+from repro.graphs.generators import powerlaw_configuration
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_configuration(400, 2400, rng=17)
+
+
+def test_ic_indegree_weights(graph):
+    g = assign_ic_weights(graph)
+    deg = g.in_degrees()
+    for v in (0, 13, 200):
+        if deg[v]:
+            assert np.allclose(g.in_weights(v), 1.0 / deg[v])
+
+
+def test_ic_uniform_random_bounded(graph):
+    g = assign_ic_weights(graph, scheme="uniform_random", rng=3, p=0.2)
+    assert g.weights.max() <= 0.2
+    assert g.weights.min() >= 0.0
+
+
+def test_ic_trivalency(graph):
+    g = assign_ic_weights(graph, scheme="trivalency", rng=3)
+    assert set(np.unique(g.weights)) <= {0.1, 0.01, 0.001}
+
+
+def test_ic_constant(graph):
+    g = assign_ic_weights(graph, scheme="constant", p=0.07)
+    assert np.allclose(g.weights, 0.07)
+
+
+def test_ic_unknown_scheme(graph):
+    with pytest.raises(ValidationError):
+        assign_ic_weights(graph, scheme="nope")
+
+
+def test_lt_indegree_sums_to_one(graph):
+    g = assign_lt_weights(graph)
+    totals = g.total_in_weight()
+    deg = g.in_degrees()
+    assert np.allclose(totals[deg > 0], 1.0)
+    assert np.all(totals[deg == 0] == 0.0)
+
+
+def test_lt_random_normalized_sums_below_one(graph):
+    g = assign_lt_weights(graph, scheme="random_normalized", rng=5)
+    totals = g.total_in_weight()
+    assert totals.max() <= 1.0 + 1e-9
+
+
+def test_lt_unknown_scheme(graph):
+    with pytest.raises(ValidationError):
+        assign_lt_weights(graph, scheme="nope")
+
+
+def test_assignment_does_not_mutate_original(graph):
+    assert graph.weights is None
+    assign_ic_weights(graph)
+    assert graph.weights is None
