@@ -18,7 +18,9 @@ Layers (see DESIGN.md for the full inventory):
 * :mod:`repro.imm` — the IMM algorithm plus RIS and CELF baselines;
 * :mod:`repro.gpu` — the simulated SIMT device and cost models;
 * :mod:`repro.engines` — eIM, gIM, cuRipples on the simulated device;
-* :mod:`repro.experiments` — drivers for every paper table and figure.
+* :mod:`repro.experiments` — drivers for every paper table and figure;
+* :mod:`repro.obs` — span tracing, metrics, and profile exporters
+  (no-op unless installed; see ``run_imm(..., profile=True)``).
 """
 
 from repro.diffusion import estimate_spread, simulate_ic, simulate_lt

@@ -18,6 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.experiments import ExperimentConfig, figures, tables
 from repro.experiments.runner import compare_engines
 from repro.graphs import assign_ic_weights, assign_lt_weights, load_edgelist
@@ -66,6 +67,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the paper's §3.4 heuristic")
     seeds.add_argument("--validate", type=int, metavar="SAMPLES", default=0,
                        help="cross-check with this many forward Monte-Carlo cascades")
+    seeds.add_argument("--profile", action="store_true",
+                       help="print a per-phase timing/metrics table for the run")
+    seeds.add_argument("--profile-json", metavar="FILE", default=None,
+                       help="also write the profile report as JSON to FILE")
 
     compare = sub.add_parser("compare", help="compare the three engines")
     compare.add_argument("--dataset", required=True, choices=sorted(DATASETS))
@@ -75,6 +80,8 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--model", default="IC", choices=["IC", "LT"])
     compare.add_argument("--seed", type=int, default=2025)
     compare.add_argument("--theta-scale", type=float, default=0.5)
+    compare.add_argument("--profile", action="store_true",
+                         help="print the timing/metrics profile of the comparison")
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -105,6 +112,7 @@ def _cmd_seeds(args) -> int:
         graph, args.k, args.epsilon, model=args.model, rng=args.seed,
         eliminate_sources=not args.no_source_elimination,
         bounds=BoundsConfig(theta_scale=args.theta_scale),
+        profile=args.profile or args.profile_json is not None,
     )
     print(f"theta = {result.theta} RRR sets; coverage = {result.coverage_fraction:.3f}")
     print(f"seeds: {sorted(result.seeds.tolist())}")
@@ -116,6 +124,13 @@ def _cmd_seeds(args) -> int:
         spread = estimate_spread(graph, result.seeds, args.model,
                                  args.validate, rng=args.seed + 1)
         print(f"Monte-Carlo spread ({args.validate} cascades): {spread:.1f}")
+    if result.profile is not None:
+        if args.profile:
+            print()
+            print(obs.render_table(result.profile))
+        if args.profile_json is not None:
+            obs.write_json(result.profile, args.profile_json)
+            print(f"profile written to {args.profile_json}")
     return 0
 
 
@@ -125,6 +140,7 @@ def _cmd_compare(args) -> int:
         theta_scale=args.theta_scale, sweep_theta_scale=args.theta_scale,
         datasets=(args.dataset,),
     )
+    handle = obs.install() if args.profile else None
     row = compare_engines(args.dataset, args.k, args.epsilon, args.model, cfg)
     for result in (row.eim, row.gim, row.curipples):
         status = "OOM" if result.oom else f"{result.total_cycles:.3e} cycles"
@@ -136,6 +152,11 @@ def _cmd_compare(args) -> int:
     if not (row.eim.oom or row.gim.oom):
         print(f"\neIM speedup: {row.speedup_vs_gim:.2f}x over gIM, "
               f"{row.speedup_vs_curipples:.2f}x over cuRipples")
+    if handle is not None:
+        report = handle.report()
+        obs.uninstall()
+        print()
+        print(obs.render_table(report))
     return 0
 
 

@@ -8,6 +8,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.gpu.cost_model import CostModel
 from repro.gpu.device import DeviceSpec, SimulatedDevice
 from repro.graphs.csc import DirectedGraph
@@ -89,10 +90,14 @@ class Engine(ABC):
                 bounds=bounds,
             )
         try:
-            self._load_graph(device, cost, graph)
-            self._charge_sampling(device, cost, graph, imm_result)
-            self._charge_selection(device, cost, graph, imm_result)
+            with obs.span(f"engine.{self.name}.run"):
+                self._load_graph(device, cost, graph)
+                self._charge_sampling(device, cost, graph, imm_result)
+                self._charge_selection(device, cost, graph, imm_result)
+            self._publish_metrics(device)
         except DeviceOOMError as exc:
+            obs.counter_add(f"engine.{self.name}.oom", 1)
+            self._publish_metrics(device)
             return EngineResult(
                 engine=self.name,
                 model=model.upper(),
@@ -127,6 +132,14 @@ class Engine(ABC):
             breakdown=device.breakdown(),
             imm=imm_result,
         )
+
+    def _publish_metrics(self, device: SimulatedDevice) -> None:
+        """Publish the device's cycle breakdown and peak memory into the
+        installed :mod:`repro.obs` registry (no-op when profiling is off)."""
+        for category, cycles in device.breakdown().items():
+            obs.gauge_set(f"engine.{self.name}.cycles.{category}", float(cycles))
+        obs.gauge_set(f"engine.{self.name}.cycles.total", float(device.elapsed_cycles))
+        obs.gauge_set(f"engine.{self.name}.peak_device_bytes", int(device.memory.peak))
 
     # -- phase hooks ---------------------------------------------------------
     def _adapt_spec(self, spec: DeviceSpec | None) -> DeviceSpec | None:

@@ -14,9 +14,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.graphs.csc import DirectedGraph
 from repro.imm.bounds import BoundsConfig, adjusted_ell, lambda_prime, lambda_star
 from repro.imm.seed_selection import SelectionResult, select_seeds
+from repro.obs.export import ProfileReport
 from repro.rrr import get_sampler
 from repro.rrr.collection import RRRCollection
 from repro.rrr.trace import SampleTrace, empty_trace
@@ -52,6 +54,7 @@ class IMMResult:
     model: str
     eliminate_sources: bool
     phases: list[PhaseStat] = field(default_factory=list)
+    profile: ProfileReport | None = None
 
     @property
     def coverage_fraction(self) -> float:
@@ -81,16 +84,6 @@ class IMMResult:
         return base
 
 
-def _concat(parts: list[RRRCollection], n: int) -> RRRCollection:
-    if len(parts) == 1:
-        return parts[0]
-    flat = np.concatenate([p.flat for p in parts])
-    sizes = np.concatenate([np.diff(p.offsets) for p in parts])
-    sources = np.concatenate([p.sources for p in parts])
-    offsets = np.concatenate([[0], np.cumsum(sizes)])
-    return RRRCollection(flat, offsets, n, sources=sources, check=False)
-
-
 def run_imm(
     graph: DirectedGraph,
     k: int,
@@ -101,6 +94,7 @@ def run_imm(
     bounds: BoundsConfig | None = None,
     selection_strategy: str = "fast",
     batch_size: int = 16384,
+    profile: bool = False,
 ) -> IMMResult:
     """Run IMM end to end and return seeds plus full diagnostics.
 
@@ -109,6 +103,12 @@ def run_imm(
     ``model`` "IC" or "LT", ``eliminate_sources`` toggles the paper's
     §3.4 heuristic (eIM's default; off reproduces vanilla IMM as in gIM
     and cuRipples).
+
+    With ``profile=True`` live :mod:`repro.obs` collectors are installed
+    for the duration of the run (unless the caller already installed
+    some) and the resulting :class:`~repro.obs.ProfileReport` — per-phase
+    spans plus sampler/selection metrics — is attached as
+    ``IMMResult.profile``.
     """
     if graph.weights is None:
         raise ValidationError("run_imm requires a weighted graph (assign_*_weights)")
@@ -119,6 +119,34 @@ def run_imm(
         raise ValidationError("epsilon must be positive")
     if graph.n < 2:
         raise ValidationError("need at least two vertices")
+    handle = None
+    if profile and not obs.enabled():
+        handle = obs.install()
+    try:
+        with obs.span("imm.run"):
+            result = _run_imm_core(
+                graph, k, epsilon, model, rng, eliminate_sources,
+                bounds, selection_strategy, batch_size,
+            )
+        if profile:
+            result.profile = obs.report()
+        return result
+    finally:
+        if handle is not None:
+            obs.uninstall()
+
+
+def _run_imm_core(
+    graph: DirectedGraph,
+    k: int,
+    epsilon: float,
+    model: str,
+    rng,
+    eliminate_sources: bool,
+    bounds: BoundsConfig | None,
+    selection_strategy: str,
+    batch_size: int,
+) -> IMMResult:
     bounds = bounds or BoundsConfig()
     gen = as_generator(rng)
     sampler = get_sampler(model)
@@ -139,35 +167,40 @@ def run_imm(
         np.empty(0, dtype=np.int32), np.zeros(1, dtype=np.int64), graph.n,
         sources=np.empty(0, dtype=np.int64),
     )
+    last_selection: SelectionResult | None = None
     for i in range(1, max_phase + 1):
-        x = n / (2.0**i)
-        theta_i = bounds.cap(lam_prime / x)
-        if theta_i > num_sets:
-            extra, extra_trace = sampler(
-                graph,
-                theta_i - num_sets,
-                rng=gen,
-                eliminate_sources=eliminate_sources,
-                batch_size=batch_size,
+        with obs.span(f"imm.estimation.phase_{i}"):
+            x = n / (2.0**i)
+            theta_i = bounds.cap(lam_prime / x)
+            if theta_i > num_sets:
+                with obs.span("imm.sampling"):
+                    extra, extra_trace = sampler(
+                        graph,
+                        theta_i - num_sets,
+                        rng=gen,
+                        eliminate_sources=eliminate_sources,
+                        batch_size=batch_size,
+                    )
+                parts.append(extra)
+                trace = trace.merged_with(extra_trace)
+                num_sets = theta_i
+                collection = RRRCollection.concat(parts)
+                parts = [collection]
+            with obs.span("imm.selection"):
+                sel = select_seeds(collection, k, strategy=selection_strategy)
+            last_selection = sel
+            influence_est = n * sel.coverage_fraction
+            passed = influence_est >= (1.0 + eps_prime) * x
+            phases.append(
+                PhaseStat(
+                    index=i,
+                    x=x,
+                    theta_i=theta_i,
+                    coverage_fraction=sel.coverage_fraction,
+                    influence_estimate=influence_est,
+                    passed=passed,
+                )
             )
-            parts.append(extra)
-            trace = trace.merged_with(extra_trace)
-            num_sets = theta_i
-            collection = _concat(parts, graph.n)
-            parts = [collection]
-        sel = select_seeds(collection, k, strategy=selection_strategy)
-        influence_est = n * sel.coverage_fraction
-        passed = influence_est >= (1.0 + eps_prime) * x
-        phases.append(
-            PhaseStat(
-                index=i,
-                x=x,
-                theta_i=theta_i,
-                coverage_fraction=sel.coverage_fraction,
-                influence_estimate=influence_est,
-                passed=passed,
-            )
-        )
         if passed:
             lower_bound = influence_est / (1.0 + eps_prime)
             break
@@ -177,19 +210,33 @@ def run_imm(
 
     theta = bounds.cap(lambda_star(graph.n, k, epsilon, ell) / lower_bound)
     if theta > num_sets:
-        extra, extra_trace = sampler(
-            graph,
-            theta - num_sets,
-            rng=gen,
-            eliminate_sources=eliminate_sources,
-            batch_size=batch_size,
-        )
+        with obs.span("imm.final_sampling"):
+            extra, extra_trace = sampler(
+                graph,
+                theta - num_sets,
+                rng=gen,
+                eliminate_sources=eliminate_sources,
+                batch_size=batch_size,
+            )
         parts.append(extra)
         trace = trace.merged_with(extra_trace)
-        collection = _concat(parts, graph.n)
+        collection = RRRCollection.concat(parts)
+        last_selection = None
     final_theta = max(theta, num_sets)
 
-    selection = select_seeds(collection, k, strategy=selection_strategy)
+    if last_selection is None:
+        # the collection grew since the last estimation-phase selection
+        with obs.span("imm.selection"):
+            selection = select_seeds(collection, k, strategy=selection_strategy)
+    else:
+        # the last estimation phase already ran greedy on this exact
+        # collection; re-running it would reproduce the result bit for bit
+        selection = last_selection
+    obs.gauge_max("rrr.flat_bytes", int(collection.flat.nbytes))
+    obs.gauge_max("rrr.offsets_bytes", int(collection.offsets.nbytes))
+    obs.gauge_set("imm.theta", final_theta)
+    obs.gauge_set("imm.lower_bound", lower_bound)
+    obs.counter_add("imm.phases", len(phases))
     return IMMResult(
         seeds=selection.seeds,
         selection=selection,

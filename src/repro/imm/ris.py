@@ -83,9 +83,7 @@ def run_ris(
             trace = trace.merged_with(piece_trace)
             total_sets += piece.num_sets
             spent = trace.total_edges_examined() + int(trace.sizes.sum())
-        from repro.imm.imm import _concat
-
-        collection = _concat(pieces, graph.n)
+        collection = RRRCollection.concat(pieces)
 
     selection = select_seeds(collection, k)
     work = trace.total_edges_examined() + int(trace.sizes.sum())

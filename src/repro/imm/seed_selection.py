@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.rrr.collection import RRRCollection
 from repro.utils.errors import ValidationError
 from repro.utils.segments import segmented_arange
@@ -62,16 +63,31 @@ class SelectionResult:
 def select_seeds(
     collection: RRRCollection, k: int, strategy: str = "fast"
 ) -> SelectionResult:
-    """Greedy max-coverage selection of ``k`` seeds (ties -> lowest id)."""
+    """Greedy max-coverage selection of ``k`` seeds (ties -> lowest id).
+
+    The returned seeds are guaranteed **distinct**: once a vertex is
+    selected its count is masked to -1, so even after every set is
+    covered (all remaining marginal gains zero) later iterations pick
+    the lowest-id *unselected* vertex rather than re-returning vertex 0.
+    """
     if k < 1:
         raise ValidationError("k must be >= 1")
     if k > collection.n:
         raise ValidationError(f"k={k} exceeds the number of vertices {collection.n}")
     if strategy == "fast":
-        return _greedy_fast(collection, k)
-    if strategy == "reference":
-        return _greedy_reference(collection, k)
-    raise ValidationError(f"unknown selection strategy {strategy!r}")
+        result = _greedy_fast(collection, k)
+    elif strategy == "reference":
+        result = _greedy_reference(collection, k)
+    else:
+        raise ValidationError(f"unknown selection strategy {strategy!r}")
+    if obs.enabled():
+        obs.counter_add("selection.iterations", k)
+        obs.counter_add("selection.sets_scanned", int(result.stats.sets_scanned.sum()))
+        obs.counter_add(
+            "selection.decrements", int(result.stats.elements_decremented.sum())
+        )
+        obs.counter_add("selection.covered_sets", int(result.covered_sets))
+    return result
 
 
 def _greedy_fast(collection: RRRCollection, k: int) -> SelectionResult:
@@ -110,6 +126,7 @@ def _greedy_fast(collection: RRRCollection, k: int) -> SelectionResult:
             decremented[it] = elem_idx.size
         else:
             decremented[it] = 0
+        counts[v] = -1  # mask: selected vertices must never win argmax again
 
     stats = SelectionStats(
         sets_scanned=scanned,
@@ -163,6 +180,7 @@ def _greedy_reference(collection: RRRCollection, k: int) -> SelectionResult:
         found[it] = n_found
         decremented[it] = n_dec
         covered_total += n_found
+        counts[v] = -1  # mask: selected vertices must never win argmax again
 
     stats = SelectionStats(
         sets_scanned=scanned,

@@ -97,9 +97,7 @@ def estimate_kpt(
             piece, _ = sampler(graph, c_i - drawn, rng=gen)
             pieces.append(piece)
             drawn = c_i
-        from repro.imm.imm import _concat
-
-        collection = _concat(pieces, n)
+        collection = RRRCollection.concat(pieces)
         pieces = [collection]
         kappa = _kappa(collection.prefix(c_i), graph, k)
         if kappa.mean() > 1.0 / (2.0**i):
@@ -138,9 +136,7 @@ def run_tim(
     if theta > collection.num_sets:
         sampler = get_sampler(model)
         extra, _ = sampler(graph, theta - collection.num_sets, rng=gen)
-        from repro.imm.imm import _concat
-
-        collection = _concat([collection, extra], graph.n)
+        collection = RRRCollection.concat([collection, extra])
     selection = select_seeds(collection, k)
     return TIMResult(
         seeds=selection.seeds,

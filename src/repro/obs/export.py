@@ -1,0 +1,125 @@
+"""Profile exporters: human-readable table and JSON (dict / lines).
+
+A :class:`ProfileReport` is the frozen result of one profiled run —
+span records plus a metrics snapshot — detached from the live tracer
+so it survives :func:`repro.obs.uninstall`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.obs.tracer import SpanRecord
+
+
+@dataclass
+class ProfileReport:
+    """Everything one profiled run recorded."""
+
+    spans: list[SpanRecord] = field(default_factory=list)
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def span_names(self) -> list[str]:
+        return [s.name for s in self.spans]
+
+    def find_spans(self, name: str) -> list[SpanRecord]:
+        """All spans whose leaf name equals ``name``."""
+        return [s for s in self.spans if s.name == name]
+
+    def total_seconds(self, name: str) -> float:
+        """Summed duration of every span named ``name``."""
+        return sum(s.duration for s in self.find_spans(name))
+
+
+def build_report(tracer, metrics) -> ProfileReport:
+    """Snapshot a live tracer + registry into a detached report."""
+    snap = metrics.snapshot()
+    return ProfileReport(
+        spans=list(tracer.records),
+        counters=snap["counters"],
+        gauges=snap["gauges"],
+        histograms=snap["histograms"],
+    )
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:,.3f}"
+    return f"{int(value):,}"
+
+
+def render_table(report: ProfileReport) -> str:
+    """A profile as text: the span tree, then counters/gauges/histograms."""
+    lines = ["== spans =============================================="]
+    if report.spans:
+        width = max(2 * s.depth + len(s.name) for s in report.spans)
+        for s in sorted(report.spans, key=lambda r: (r.start, r.depth)):
+            label = "  " * s.depth + s.name
+            lines.append(f"{label:<{width}}  {1e3 * s.duration:>10.3f} ms")
+    else:
+        lines.append("(no spans recorded)")
+    if report.counters:
+        lines.append("== counters ===========================================")
+        width = max(len(k) for k in report.counters)
+        for name in sorted(report.counters):
+            lines.append(f"{name:<{width}}  {_fmt_value(report.counters[name])}")
+    if report.gauges:
+        lines.append("== gauges =============================================")
+        width = max(len(k) for k in report.gauges)
+        for name in sorted(report.gauges):
+            lines.append(f"{name:<{width}}  {_fmt_value(report.gauges[name])}")
+    if report.histograms:
+        lines.append("== histograms =========================================")
+        for name in sorted(report.histograms):
+            h = report.histograms[name]
+            lines.append(
+                f"{name}  count={h['count']}  mean={h['mean']:.2f}  "
+                f"min={h['min']:.2f}  max={h['max']:.2f}"
+            )
+    return "\n".join(lines)
+
+
+def to_json(report: ProfileReport) -> dict:
+    """A JSON-serializable dict of the full report."""
+    return {
+        "spans": [
+            {
+                "name": s.name,
+                "path": s.path,
+                "depth": s.depth,
+                "start": s.start,
+                "duration_s": s.duration,
+            }
+            for s in report.spans
+        ],
+        "counters": dict(report.counters),
+        "gauges": dict(report.gauges),
+        "histograms": {k: dict(v) for k, v in report.histograms.items()},
+    }
+
+
+def write_json(report: ProfileReport, path) -> None:
+    """Write the report as one indented JSON document."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_json(report), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def write_jsonl(report: ProfileReport, path) -> None:
+    """Write the report as JSON lines (one record per span/metric), the
+    append-friendly format the ``benchmarks/`` trajectory consumes."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for s in report.spans:
+            fh.write(json.dumps({
+                "kind": "span", "name": s.name, "path": s.path,
+                "depth": s.depth, "start": s.start, "duration_s": s.duration,
+            }) + "\n")
+        for name, value in sorted(report.counters.items()):
+            fh.write(json.dumps({"kind": "counter", "name": name, "value": value}) + "\n")
+        for name, value in sorted(report.gauges.items()):
+            fh.write(json.dumps({"kind": "gauge", "name": name, "value": value}) + "\n")
+        for name, summary in sorted(report.histograms.items()):
+            fh.write(json.dumps({"kind": "histogram", "name": name, **summary}) + "\n")

@@ -64,6 +64,30 @@ class RRRCollection:
         )
         return cls(flat, offsets, n, sources=sources)
 
+    @classmethod
+    def concat(cls, parts: "list[RRRCollection]") -> "RRRCollection":
+        """Concatenate collections over the same vertex universe, in order.
+
+        The single shared implementation behind IMM's phase top-ups and
+        the parallel sampler's worker merge.  ``sources`` survive only
+        when every part carries them.
+        """
+        if not parts:
+            raise ValidationError("concat requires at least one collection")
+        if len(parts) == 1:
+            return parts[0]
+        n = parts[0].n
+        if any(p.n != n for p in parts):
+            raise ValidationError("cannot concat collections with different n")
+        flat = np.concatenate([p.flat for p in parts])
+        sizes = np.concatenate([np.diff(p.offsets) for p in parts])
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        if all(p.sources is not None for p in parts):
+            sources = np.concatenate([p.sources for p in parts])
+        else:
+            sources = None
+        return cls(flat, offsets, n, sources=sources, check=False)
+
     # -- queries -------------------------------------------------------------
     @property
     def num_sets(self) -> int:

@@ -8,6 +8,14 @@ independent spawned RNG stream and a share of the set count; results
 merge in worker order, so a given ``(rng, n_jobs)`` pair is fully
 deterministic.
 
+Workers receive the *spawned* :class:`numpy.random.SeedSequence`
+children themselves (they pickle cleanly), so the stream a worker runs
+is bit-for-bit the stream ``spawn_generators`` would hand out
+parent-side.  Re-seeding ``PCG64`` from a generator's raw 128-bit
+state would instead re-hash that state through SeedSequence and drop
+the stream increment — a silent loss of the independence guarantee
+this module promises.
+
 Workers re-generate nothing graph-side: the (pickled) CSC arrays ship
 once per worker via the executor's initializer.
 """
@@ -19,11 +27,12 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.graphs.csc import DirectedGraph
 from repro.rrr.collection import RRRCollection
 from repro.rrr.trace import SampleTrace, empty_trace
 from repro.utils.errors import ValidationError
-from repro.utils.rng import spawn_generators
+from repro.utils.rng import spawn_seed_sequences
 
 _WORKER_GRAPH: Optional[DirectedGraph] = None
 
@@ -34,17 +43,17 @@ def _init_worker(indptr, indices, weights):
 
 
 def _worker_sample(args):
-    model, num_sets, seed_state, eliminate_sources = args
+    model, num_sets, seed_seq, eliminate_sources = args
     from repro.rrr import get_sampler
 
     sampler = get_sampler(model)
-    rng = np.random.Generator(np.random.PCG64(seed_state))
+    rng = np.random.Generator(np.random.PCG64(seed_seq))
     collection, trace = sampler(
         _WORKER_GRAPH, num_sets, rng=rng, eliminate_sources=eliminate_sources
     )
     return (
         collection.flat,
-        np.diff(collection.offsets),
+        collection.offsets,
         collection.sources,
         trace,
     )
@@ -77,33 +86,30 @@ def sample_rrr_parallel(
             graph, num_sets, rng=rng, eliminate_sources=eliminate_sources
         )
 
-    streams = spawn_generators(rng, n_jobs)
-    seeds = [s.bit_generator.state["state"]["state"] for s in streams]
+    children = spawn_seed_sequences(rng, n_jobs)
     share = num_sets // n_jobs
     counts = [share] * n_jobs
     counts[-1] += num_sets - share * n_jobs
     jobs = [
-        (model.upper(), counts[i], seeds[i], eliminate_sources)
+        (model.upper(), counts[i], children[i], eliminate_sources)
         for i in range(n_jobs)
     ]
-    with ProcessPoolExecutor(
-        max_workers=n_jobs,
-        initializer=_init_worker,
-        initargs=(graph.indptr, graph.indices, graph.weights),
-    ) as pool:
-        results = list(pool.map(_worker_sample, jobs))
+    obs.counter_add("rrr.parallel.jobs", n_jobs)
+    with obs.span("rrr.parallel.sample"):
+        with ProcessPoolExecutor(
+            max_workers=n_jobs,
+            initializer=_init_worker,
+            initargs=(graph.indptr, graph.indices, graph.weights),
+        ) as pool:
+            results = list(pool.map(_worker_sample, jobs))
 
-    flats, size_parts, source_parts, traces = zip(*results)
-    sizes = np.concatenate(size_parts)
-    offsets = np.concatenate([[0], np.cumsum(sizes)])
-    collection = RRRCollection(
-        np.concatenate(flats),
-        offsets,
-        graph.n,
-        sources=np.concatenate(source_parts),
-        check=False,
-    )
-    trace = empty_trace()
-    for t in traces:
-        trace = trace.merged_with(t)
+    with obs.span("rrr.parallel.merge"):
+        parts = [
+            RRRCollection(flat, offsets, graph.n, sources=sources, check=False)
+            for flat, offsets, sources, _ in results
+        ]
+        collection = RRRCollection.concat(parts)
+        trace = empty_trace()
+        for _, _, _, t in results:
+            trace = trace.merged_with(t)
     return collection, trace

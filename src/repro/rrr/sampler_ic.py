@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.graphs.csc import DirectedGraph
 from repro.rrr.collection import RRRBuilder, RRRCollection
 from repro.rrr.trace import SampleTrace
@@ -122,9 +123,14 @@ def sample_rrr_ic(
                 "few edges for the requested sampling"
             )
         sources = gen.integers(0, graph.n, size=batch, dtype=np.int64)
-        visited, sizes, rounds, edges = _reverse_bfs_batch(graph, sources, gen)
+        with obs.span("rrr.batch.ic"):
+            visited, sizes, rounds, edges = _reverse_bfs_batch(graph, sources, gen)
         attempts += batch
         raw_singletons += int(np.sum(sizes == 1))
+        if obs.enabled():  # guard the argument-side sums, not just the sink
+            obs.counter_add("rrr.sets_attempted", batch)
+            obs.counter_add("rrr.edges_examined", int(edges.sum()))
+            obs.observe("rrr.batch_size", batch)
         if eliminate_sources:
             visited, sizes = _strip_sources(visited, sources, graph.n)
             kept_mask = sizes > 0
@@ -136,6 +142,10 @@ def sample_rrr_ic(
             visited = visited[kept_mask[set_of_elem]]
         flat = (visited % graph.n).astype(np.int32)
         builder.append_batch(flat, sizes[kept_mask], sources[kept_mask])
+        if obs.enabled():
+            kept = int(kept_mask.sum())
+            obs.counter_add("rrr.sets_kept", kept)
+            obs.counter_add("rrr.sets_discarded", batch - kept)
         trace_chunks.append(
             SampleTrace(
                 sizes=sizes,
@@ -149,6 +159,7 @@ def sample_rrr_ic(
 
     builder.truncate_to(num_sets)
     collection = builder.finalize()
+    obs.counter_add("rrr.sets_sampled", collection.num_sets)
     from repro.rrr.trace import empty_trace
 
     trace = empty_trace()

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.graphs.csc import DirectedGraph
 from repro.rrr.collection import RRRBuilder, RRRCollection
 from repro.rrr.sampler_ic import MAX_ATTEMPT_FACTOR
@@ -134,9 +135,16 @@ def sample_rrr_lt(
                 f"(attempted {attempts} for {num_sets})"
             )
         sources = gen.integers(0, graph.n, size=batch, dtype=np.int64)
-        visited, sizes, rounds, edges = _walk_batch(graph, sources, gen, selection_index)
+        with obs.span("rrr.batch.lt"):
+            visited, sizes, rounds, edges = _walk_batch(
+                graph, sources, gen, selection_index
+            )
         attempts += batch
         raw_singletons += int(np.sum(sizes == 1))
+        if obs.enabled():  # guard the argument-side sums, not just the sink
+            obs.counter_add("rrr.sets_attempted", batch)
+            obs.counter_add("rrr.edges_examined", int(edges.sum()))
+            obs.observe("rrr.batch_size", batch)
         if eliminate_sources:
             visited, sizes = _strip_sources(visited, sources, graph.n)
             kept_mask = sizes > 0
@@ -147,6 +155,10 @@ def sample_rrr_lt(
             visited = visited[kept_mask[set_of_elem]]
         flat = (visited % graph.n).astype(np.int32)
         builder.append_batch(flat, sizes[kept_mask], sources[kept_mask])
+        if obs.enabled():
+            kept = int(kept_mask.sum())
+            obs.counter_add("rrr.sets_kept", kept)
+            obs.counter_add("rrr.sets_discarded", batch - kept)
         trace_chunks.append(
             SampleTrace(
                 sizes=sizes,
@@ -160,6 +172,7 @@ def sample_rrr_lt(
 
     builder.truncate_to(num_sets)
     collection = builder.finalize()
+    obs.counter_add("rrr.sets_sampled", collection.num_sets)
     trace = empty_trace()
     for chunk in trace_chunks:
         trace = trace.merged_with(chunk)

@@ -26,6 +26,23 @@ def as_generator(rng: "int | None | np.random.Generator") -> np.random.Generator
     return np.random.default_rng(rng)
 
 
+def spawn_seed_sequences(rng: "int | None | np.random.Generator", n: int) -> list:
+    """Spawn ``n`` child :class:`numpy.random.SeedSequence` objects.
+
+    These are the picklable keys from which independent child streams are
+    built; :func:`spawn_generators` wraps each in a PCG64 generator, and
+    the process-parallel sampler ships them to workers so the worker-side
+    generators are *exactly* the parent-side spawned streams (re-seeding
+    from a generator's raw 128-bit state would re-hash it through
+    SeedSequence and drop the stream increment, yielding different
+    streams).
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} seed sequences")
+    parent = as_generator(rng)
+    return parent.bit_generator.seed_seq.spawn(n)
+
+
 def spawn_generators(rng: "int | None | np.random.Generator", n: int) -> list[np.random.Generator]:
     """Derive ``n`` statistically independent child generators.
 
@@ -33,8 +50,7 @@ def spawn_generators(rng: "int | None | np.random.Generator", n: int) -> list[np
     sequence, which guarantees independence between children and from the
     parent's future output.
     """
-    if n < 0:
-        raise ValueError(f"cannot spawn {n} generators")
-    parent = as_generator(rng)
-    seed_seq = parent.bit_generator.seed_seq
-    return [np.random.Generator(np.random.PCG64(s)) for s in seed_seq.spawn(n)]
+    return [
+        np.random.Generator(np.random.PCG64(s))
+        for s in spawn_seed_sequences(rng, n)
+    ]

@@ -69,3 +69,16 @@ def test_greedy_at_least_half_of_best_single_plus(sets, k):
     res = select_seeds(coll, k)
     best_single = select_seeds(coll, 1)
     assert res.covered_sets >= best_single.covered_sets
+
+
+@given(sets_strategy, st.integers(1, N))
+@settings(max_examples=80, deadline=None)
+def test_seeds_always_distinct(sets, k):
+    """select_seeds never returns duplicate vertices, for any k up to n —
+    even when coverage saturates and every remaining gain is zero."""
+    coll = _coll(sets)
+    for strategy in ("fast", "reference"):
+        res = select_seeds(coll, k, strategy)
+        assert res.seeds.size == k
+        assert len(set(res.seeds.tolist())) == k
+        assert all(0 <= v < N for v in res.seeds.tolist())

@@ -3,7 +3,7 @@ prefix sums for any lane count, and the LT lane pick agrees with the
 mathematical first-crossing definition."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.gpu.warp import (
@@ -50,8 +50,11 @@ def test_ballot_bits(preds):
 def test_lt_lane_first_crossing_definition(weights, tau):
     w = np.asarray(weights)
     w = w / max(w.sum(), 1.0)  # total <= 1
-    lane, _ = lt_select_activating_lane(w, tau)
     cum = np.cumsum(w)
+    # tau within float-eps of a prefix sum makes the crossing depend on
+    # summation order (cumsum vs shfl_up doubling network) — undefined here
+    assume(np.abs(cum - tau).min() > 1e-9)
+    lane, _ = lt_select_activating_lane(w, tau)
     crossing = np.flatnonzero(cum >= tau)
     if crossing.size == 0:
         assert lane == -1

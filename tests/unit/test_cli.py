@@ -57,6 +57,44 @@ def test_experiment_command(capsys):
     assert "Table 1" in out
 
 
+def test_seeds_profile_flag(tmp_path, capsys):
+    json_path = tmp_path / "profile.json"
+    rc = main([
+        "seeds", "--dataset", "WV", "--k", "3", "--epsilon", "0.4",
+        "--theta-scale", "0.05", "--profile", "--profile-json", str(json_path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "== spans ==" in out and "imm.run" in out
+    assert "imm.estimation.phase_1" in out
+    assert "== counters ==" in out and "rrr.sets_sampled" in out
+    import json
+
+    doc = json.loads(json_path.read_text())
+    assert any(s["name"] == "imm.run" for s in doc["spans"])
+    assert doc["counters"]["selection.iterations"] >= 3
+
+
+def test_seeds_without_profile_prints_no_profile(capsys):
+    rc = main([
+        "seeds", "--dataset", "WV", "--k", "3", "--epsilon", "0.4",
+        "--theta-scale", "0.05",
+    ])
+    assert rc == 0
+    assert "== spans ==" not in capsys.readouterr().out
+
+
+def test_compare_profile_flag(capsys):
+    rc = main([
+        "compare", "--dataset", "WV", "--k", "5", "--epsilon", "0.3",
+        "--theta-scale", "0.1", "--profile",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "== spans ==" in out
+    assert "engine.eim.cycles.total" in out
+
+
 def test_parser_rejects_unknown():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["experiment", "table99"])

@@ -58,3 +58,42 @@ def test_parallel_with_elimination(small_ic_graph):
     )
     assert coll.num_sets == 300
     assert coll.empty_fraction() == 0.0
+
+
+def test_worker_streams_equal_parent_spawned_streams(small_ic_graph):
+    # regression: workers used to rebuild PCG64 from the raw 128-bit state
+    # (re-hashed through SeedSequence, increment dropped), so they did NOT
+    # run the streams spawn_generators derives.  Prove draw-for-draw equality
+    # between the pool run and a serial run over the parent-side spawned
+    # generators.
+    from repro.rrr import sample_rrr_ic
+    from repro.utils.rng import spawn_generators
+
+    total, n_jobs = 600, 2
+    par, par_trace = sample_rrr_parallel(
+        small_ic_graph, total, rng=123, n_jobs=n_jobs
+    )
+    gens = spawn_generators(123, n_jobs)
+    share = total // n_jobs
+    parts = []
+    for i, gen in enumerate(gens):
+        count = share + (total - share * n_jobs if i == n_jobs - 1 else 0)
+        parts.append(sample_rrr_ic(small_ic_graph, count, rng=gen)[0])
+    manual_flat = np.concatenate([p.flat for p in parts])
+    manual_sizes = np.concatenate([np.diff(p.offsets) for p in parts])
+    manual_sources = np.concatenate([p.sources for p in parts])
+    assert np.array_equal(par.flat, manual_flat)
+    assert np.array_equal(np.diff(par.offsets), manual_sizes)
+    assert np.array_equal(par.sources, manual_sources)
+
+
+def test_worker_generator_construction_matches_spawned_child():
+    # the SeedSequence child itself must seed the worker generator; going
+    # through the raw state loses the stream
+    from repro.utils.rng import spawn_generators, spawn_seed_sequences
+
+    children = spawn_seed_sequences(42, 3)
+    parent_side = spawn_generators(42, 3)
+    for child, expected in zip(children, parent_side):
+        worker_side = np.random.Generator(np.random.PCG64(child))
+        assert np.array_equal(worker_side.random(16), expected.random(16))

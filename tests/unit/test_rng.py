@@ -1,7 +1,9 @@
+import pickle
+
 import numpy as np
 import pytest
 
-from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.rng import as_generator, spawn_generators, spawn_seed_sequences
 
 
 def test_as_generator_from_int_is_deterministic():
@@ -42,3 +44,26 @@ def test_spawn_negative_count_rejected():
 
 def test_spawn_zero_returns_empty():
     assert spawn_generators(0, 0) == []
+
+
+def test_spawn_seed_sequences_back_generators():
+    children = spawn_seed_sequences(5, 3)
+    via_seq = [np.random.Generator(np.random.PCG64(c)) for c in children]
+    via_helper = spawn_generators(5, 3)
+    for a, b in zip(via_seq, via_helper):
+        assert np.array_equal(a.random(8), b.random(8))
+
+
+def test_spawn_seed_sequences_survive_pickling():
+    # the parallel sampler ships these to worker processes
+    children = spawn_seed_sequences(5, 2)
+    for child in children:
+        clone = pickle.loads(pickle.dumps(child))
+        a = np.random.Generator(np.random.PCG64(child)).random(8)
+        b = np.random.Generator(np.random.PCG64(clone)).random(8)
+        assert np.array_equal(a, b)
+
+
+def test_spawn_seed_sequences_negative_rejected():
+    with pytest.raises(ValueError):
+        spawn_seed_sequences(0, -2)

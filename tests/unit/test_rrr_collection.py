@@ -97,3 +97,48 @@ def test_empty_builder():
     coll = RRRBuilder(n=3).finalize()
     assert coll.num_sets == 0 and coll.total_elements == 0
     assert coll.coverage([0]) == 0.0
+
+
+# -- concat ------------------------------------------------------------------
+def test_concat_two_collections():
+    a = RRRCollection.from_sets([[0, 1], [2]], n=4, sources=[0, 2])
+    b = RRRCollection.from_sets([[3], [1, 3]], n=4, sources=[3, 1])
+    merged = RRRCollection.concat([a, b])
+    assert merged.num_sets == 4
+    assert np.array_equal(merged.set_at(0), [0, 1])
+    assert np.array_equal(merged.set_at(2), [3])
+    assert np.array_equal(merged.set_at(3), [1, 3])
+    assert list(merged.sources) == [0, 2, 3, 1]
+    assert list(merged.counts) == [1, 2, 1, 2]
+
+
+def test_concat_single_part_is_identity(coll):
+    assert RRRCollection.concat([coll]) is coll
+
+
+def test_concat_empty_list_rejected():
+    with pytest.raises(ValidationError):
+        RRRCollection.concat([])
+
+
+def test_concat_mismatched_n_rejected():
+    a = RRRCollection.from_sets([[0]], n=2)
+    b = RRRCollection.from_sets([[0]], n=3)
+    with pytest.raises(ValidationError):
+        RRRCollection.concat([a, b])
+
+
+def test_concat_drops_sources_when_any_part_lacks_them():
+    a = RRRCollection.from_sets([[0]], n=2, sources=[0])
+    b = RRRCollection.from_sets([[1]], n=2)
+    merged = RRRCollection.concat([a, b])
+    assert merged.sources is None
+
+
+def test_concat_with_empty_sets():
+    a = RRRCollection.from_sets([[], [0]], n=3, sources=[1, 0])
+    b = RRRCollection.from_sets([[2], []], n=3, sources=[2, 1])
+    merged = RRRCollection.concat([a, b])
+    assert merged.num_sets == 4
+    assert list(merged.sizes()) == [0, 1, 1, 0]
+    assert merged.total_elements == 2

@@ -95,3 +95,37 @@ def test_k_larger_than_useful_vertices():
     res = select_seeds(coll, 3)
     assert res.seeds.size == 3
     assert res.covered_sets == 2
+
+
+def test_no_duplicate_seeds_after_saturation():
+    # regression: once every set is covered, argmax over all-zero counts
+    # used to return vertex 0 forever, yielding duplicate seeds
+    coll = _coll([[0], [0]], n=4)
+    for strategy in ("fast", "reference"):
+        res = select_seeds(coll, 4, strategy)
+        assert sorted(res.seeds.tolist()) == [0, 1, 2, 3]
+        assert len(set(res.seeds.tolist())) == res.seeds.size
+
+
+def test_no_duplicate_seeds_dense_small_collection():
+    # every set contains vertex 1: after picking it, all gains are zero
+    coll = _coll([[1, 2], [0, 1], [1]], n=5)
+    res = select_seeds(coll, 5)
+    assert len(set(res.seeds.tolist())) == 5
+    assert res.seeds[0] == 1
+    # post-saturation picks proceed by ascending vertex id
+    assert sorted(res.seeds.tolist()) == [0, 1, 2, 3, 4]
+
+
+def test_saturation_marginal_gains_are_zero():
+    coll = _coll([[2]], n=3)
+    res = select_seeds(coll, 3)
+    assert res.seeds[0] == 2
+    assert list(res.marginal_gains) == [1, 0, 0]
+    assert res.covered_sets == 1
+
+
+def test_distinct_seeds_on_random_collection(small_ic_graph):
+    coll, _ = sample_rrr_ic(small_ic_graph, 400, rng=9)
+    res = select_seeds(coll, small_ic_graph.n)  # k == n, maximal stress
+    assert len(set(res.seeds.tolist())) == small_ic_graph.n
