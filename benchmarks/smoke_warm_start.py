@@ -1,0 +1,125 @@
+"""Sampling-pipeline smoke benchmark — writes ``BENCH_pr2_sampling.json``.
+
+CI-sized check of the two cross-cell sampling optimizations:
+
+* the Fig. 7 workload on a dataset subset with a resident
+  :class:`~repro.rrr.parallel.SamplerPool` (``n_jobs=2``) shared by all
+  cells — exercises the multiprocess fan-out end to end;
+* a tiny k-sweep run twice — resampling every cell from scratch vs
+  topping up warm-start :class:`~repro.rrr.store.RRRStore` streams —
+  recording wall-clock and the ``rrr.sets_sampled`` counter for both.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/smoke_warm_start.py
+
+The JSON lands next to the repository root by default (``--out`` to
+relocate).  No pytest-benchmark dependency: one timed round per
+measurement is all a smoke check needs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.experiments import figures
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import compare_engines
+from repro.rrr.parallel import shutdown_pools
+from repro.rrr.store import clear_stores
+
+DATASETS = ("WV", "EE")
+K_SWEEP = (4, 8, 12, 16, 20)
+EPSILON = 0.3
+THETA_SCALE = 0.2
+
+
+def _config(**overrides) -> ExperimentConfig:
+    base = dict(scale="tiny", datasets=DATASETS, seed=7,
+                theta_scale=THETA_SCALE, sweep_theta_scale=THETA_SCALE)
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+def run_fig7_with_pool(n_jobs: int = 2) -> dict:
+    """The Fig. 7 IC-speedup workload on a shared resident pool."""
+    config = _config(n_jobs=n_jobs)
+    start = time.perf_counter()
+    result = figures.fig7_ic_speedups(config)
+    seconds = time.perf_counter() - start
+    vs_gim, vs_cur = result.series
+    return {
+        "n_jobs": n_jobs,
+        "seconds": round(seconds, 4),
+        "median_speedup_vs_gim": round(float(sorted(vs_gim.y)[len(vs_gim.y) // 2]), 3),
+        "median_speedup_vs_curipples": round(float(sorted(vs_cur.y)[len(vs_cur.y) // 2]), 3),
+    }
+
+
+def run_k_sweep(warm_start: bool) -> dict:
+    """One cold or warm k-sweep over the first dataset; counters + time."""
+    clear_stores()
+    config = _config(datasets=DATASETS[:1], warm_start=warm_start)
+    start = time.perf_counter()
+    with obs.profiled() as handle:
+        for k in K_SWEEP:
+            compare_engines(DATASETS[0], k, EPSILON, "IC", config,
+                            include_curipples=False)
+    seconds = time.perf_counter() - start
+    counters = handle.report().counters
+    return {
+        "seconds": round(seconds, 4),
+        "sets_sampled": int(counters.get("rrr.sets_sampled", 0)),
+        "reused_sets": int(counters.get("rrr.store.reused_sets", 0)),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_pr2_sampling.json"),
+        help="output JSON path (default: <repo root>/BENCH_pr2_sampling.json)",
+    )
+    args = parser.parse_args(argv)
+
+    fig7 = run_fig7_with_pool()
+    cold = run_k_sweep(warm_start=False)
+    warm = run_k_sweep(warm_start=True)
+    shutdown_pools()
+    clear_stores()
+
+    report = {
+        "benchmark": "pr2_sampling",
+        "scale": "tiny",
+        "datasets": list(DATASETS),
+        "theta_scale": THETA_SCALE,
+        "fig7_shared_pool": fig7,
+        "k_sweep": {
+            "ks": list(K_SWEEP),
+            "epsilon": EPSILON,
+            "cold": cold,
+            "warm_start": warm,
+            "wallclock_speedup": round(cold["seconds"] / warm["seconds"], 3),
+            "sets_sampled_ratio": round(warm["sets_sampled"] / cold["sets_sampled"], 3),
+        },
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    print(f"[written to {args.out}]")
+
+    if not warm["sets_sampled"] < cold["sets_sampled"]:
+        print("FAIL: warm start did not reduce sampled sets")
+        return 1
+    if warm["reused_sets"] == 0:
+        print("FAIL: warm start reused nothing")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,10 +3,11 @@ Maximization in Large-Scale Social Networks* (SC Workshops '25).
 
 Quick start::
 
-    from repro import load_dataset, assign_ic_weights, run_imm
+    from repro import IMMOptions, load_dataset, assign_ic_weights, run_imm
 
     graph = assign_ic_weights(load_dataset("WV", scale="tiny", rng=0))
-    result = run_imm(graph, k=10, epsilon=0.2, model="IC", rng=0)
+    result = run_imm(graph, k=10, epsilon=0.2, rng=0,
+                     options=IMMOptions(model="IC"))
     print(result.seeds, result.influence_estimate())
 
 Layers (see DESIGN.md for the full inventory):
@@ -36,6 +37,8 @@ from repro.graphs import (
 )
 from repro.imm import (
     BoundsConfig,
+    IMMOptions,
+    IMMResult,
     InfluenceOracle,
     run_celf_greedy,
     run_imm,
@@ -54,6 +57,8 @@ __all__ = [
     "DirectedGraph",
     "EIMEngine",
     "GIMEngine",
+    "IMMOptions",
+    "IMMResult",
     "InfluenceOracle",
     "PackedArray",
     "RRRCollection",

@@ -23,7 +23,7 @@ from repro.experiments import ExperimentConfig, figures, tables
 from repro.experiments.runner import compare_engines
 from repro.graphs import assign_ic_weights, assign_lt_weights, load_edgelist
 from repro.graphs.datasets import DATASETS, load_dataset
-from repro.imm import BoundsConfig, run_imm
+from repro.imm import BoundsConfig, IMMOptions, run_imm
 
 EXPERIMENTS = {
     "table1": tables.table1_datasets,
@@ -42,6 +42,40 @@ EXPERIMENTS = {
 }
 
 
+def _workload_parent(
+    *,
+    k: int,
+    epsilon: float,
+    seed: int,
+    theta_scale: float,
+    dataset_required: bool = False,
+) -> argparse.ArgumentParser:
+    """The workload options shared by ``seeds`` and ``compare``.
+
+    A fresh parent parser per subcommand (argparse ``parents=`` shares
+    action objects, so one instance cannot carry per-command defaults or
+    required-ness).  ``seeds`` keeps ``--dataset`` out of the parent —
+    there it lives in a mutually exclusive group with ``--edge-list``,
+    which argparse cannot express across a parent boundary.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    if dataset_required:
+        parent.add_argument("--dataset", required=True, choices=sorted(DATASETS),
+                            help="registry code")
+    parent.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"])
+    parent.add_argument("--k", type=int, default=k)
+    parent.add_argument("--epsilon", type=float, default=epsilon)
+    parent.add_argument("--model", default="IC", choices=["IC", "LT"])
+    parent.add_argument("--seed", type=int, default=seed, help="RNG seed")
+    parent.add_argument("--theta-scale", type=float, default=theta_scale,
+                        help="scale the IMM sample-size bounds (1.0 = exact)")
+    parent.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="RRR sampler worker processes (IMMOptions.n_jobs)")
+    parent.add_argument("--profile", action="store_true",
+                        help="print a per-phase timing/metrics table for the run")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -52,36 +86,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="list the evaluation-network registry")
 
-    seeds = sub.add_parser("seeds", help="run IMM and print the seed set")
+    seeds = sub.add_parser(
+        "seeds", help="run IMM and print the seed set",
+        parents=[_workload_parent(k=10, epsilon=0.2, seed=0, theta_scale=1.0)],
+    )
     src = seeds.add_mutually_exclusive_group(required=True)
     src.add_argument("--dataset", choices=sorted(DATASETS), help="registry code")
     src.add_argument("--edge-list", help="path to a SNAP-format edge list")
-    seeds.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"])
-    seeds.add_argument("--k", type=int, default=10)
-    seeds.add_argument("--epsilon", type=float, default=0.2)
-    seeds.add_argument("--model", default="IC", choices=["IC", "LT"])
-    seeds.add_argument("--seed", type=int, default=0, help="RNG seed")
-    seeds.add_argument("--theta-scale", type=float, default=1.0,
-                       help="scale the IMM sample-size bounds (1.0 = exact)")
     seeds.add_argument("--no-source-elimination", action="store_true",
                        help="disable the paper's §3.4 heuristic")
     seeds.add_argument("--validate", type=int, metavar="SAMPLES", default=0,
                        help="cross-check with this many forward Monte-Carlo cascades")
-    seeds.add_argument("--profile", action="store_true",
-                       help="print a per-phase timing/metrics table for the run")
     seeds.add_argument("--profile-json", metavar="FILE", default=None,
                        help="also write the profile report as JSON to FILE")
 
-    compare = sub.add_parser("compare", help="compare the three engines")
-    compare.add_argument("--dataset", required=True, choices=sorted(DATASETS))
-    compare.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"])
-    compare.add_argument("--k", type=int, default=50)
-    compare.add_argument("--epsilon", type=float, default=0.1)
-    compare.add_argument("--model", default="IC", choices=["IC", "LT"])
-    compare.add_argument("--seed", type=int, default=2025)
-    compare.add_argument("--theta-scale", type=float, default=0.5)
-    compare.add_argument("--profile", action="store_true",
-                         help="print the timing/metrics profile of the comparison")
+    compare = sub.add_parser(
+        "compare", help="compare the three engines",
+        parents=[_workload_parent(k=50, epsilon=0.1, seed=2025,
+                                  theta_scale=0.5, dataset_required=True)],
+    )
+    compare.add_argument("--warm-start", action="store_true",
+                         help="share one warm-start RRR sample across the repeats")
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -109,10 +134,14 @@ def _cmd_seeds(args) -> int:
     graph = assign(graph)
     print(f"{label}: {graph.n} vertices, {graph.m} edges")
     result = run_imm(
-        graph, args.k, args.epsilon, model=args.model, rng=args.seed,
-        eliminate_sources=not args.no_source_elimination,
-        bounds=BoundsConfig(theta_scale=args.theta_scale),
-        profile=args.profile or args.profile_json is not None,
+        graph, args.k, args.epsilon, rng=args.seed,
+        options=IMMOptions(
+            model=args.model,
+            eliminate_sources=not args.no_source_elimination,
+            bounds=BoundsConfig(theta_scale=args.theta_scale),
+            n_jobs=args.jobs,
+            profile=args.profile or args.profile_json is not None,
+        ),
     )
     print(f"theta = {result.theta} RRR sets; coverage = {result.coverage_fraction:.3f}")
     print(f"seeds: {sorted(result.seeds.tolist())}")
@@ -138,7 +167,8 @@ def _cmd_compare(args) -> int:
     cfg = ExperimentConfig.from_env(
         scale=args.scale, seed=args.seed,
         theta_scale=args.theta_scale, sweep_theta_scale=args.theta_scale,
-        datasets=(args.dataset,),
+        datasets=(args.dataset,), n_jobs=args.jobs,
+        warm_start=args.warm_start,
     )
     handle = obs.install() if args.profile else None
     row = compare_engines(args.dataset, args.k, args.epsilon, args.model, cfg)

@@ -14,6 +14,7 @@ from repro.gpu.device import DeviceSpec, SimulatedDevice
 from repro.graphs.csc import DirectedGraph
 from repro.imm.bounds import BoundsConfig
 from repro.imm.imm import IMMResult, run_imm
+from repro.imm.options import IMMOptions
 from repro.utils.errors import DeviceOOMError
 
 
@@ -69,6 +70,9 @@ class Engine(ABC):
         bounds: BoundsConfig | None = None,
         device_spec: DeviceSpec | None = None,
         imm_result: IMMResult | None = None,
+        pool=None,
+        store=None,
+        n_jobs: int = 1,
     ) -> EngineResult:
         """Execute the engine and return seeds plus modeled device costs.
 
@@ -76,6 +80,12 @@ class Engine(ABC):
         engines with identical sampling semantics (gIM and cuRipples);
         when supplied it must have been produced with this engine's
         ``eliminate_sources`` setting and the same workload.
+
+        ``pool`` (a :class:`~repro.rrr.parallel.SamplerPool`) and
+        ``store`` (a warm-start :class:`~repro.rrr.store.RRRStore`) are
+        forwarded to :func:`run_imm` so all engines of one comparison
+        share a single resident worker pool and, in sweeps, top up one
+        cached sample instead of resampling.
         """
         device = SimulatedDevice(self._adapt_spec(device_spec))
         cost = CostModel(device.spec)
@@ -84,10 +94,15 @@ class Engine(ABC):
                 graph,
                 k,
                 epsilon,
-                model=model,
                 rng=rng,
-                eliminate_sources=self.eliminate_sources,
-                bounds=bounds,
+                options=IMMOptions(
+                    model=model,
+                    eliminate_sources=self.eliminate_sources,
+                    bounds=bounds,
+                    n_jobs=pool.n_jobs if pool is not None else n_jobs,
+                ),
+                pool=pool,
+                store=store,
             )
         try:
             with obs.span(f"engine.{self.name}.run"):

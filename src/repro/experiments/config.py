@@ -11,6 +11,8 @@ whole suite stays CI-sized.  Environment overrides:
 ``REPRO_REPEATS``       averaging repeats per cell (default 1)
 ``REPRO_DATASETS``      comma-separated subset of table codes
 ``REPRO_THETA_SCALE``   override for both theta scales
+``REPRO_JOBS``          sampler worker processes (default 1)
+``REPRO_WARM_START``    ``1`` enables warm-start RRR reuse in sweeps
 =====================  ============================================
 """
 
@@ -63,6 +65,13 @@ class ExperimentConfig:
     #: largest synthetics because vertex-count floors flatten the small
     #: ones
     pressure_memory_divisor: float = 6400.0
+    #: worker processes for RRR sampling (1 = fully in-process); shared
+    #: resident pools are keyed per graph, so a whole sweep reuses them
+    n_jobs: int = 1
+    #: reuse RRR samples across the cells of a sweep via the warm-start
+    #: store: each (k, epsilon) cell tops an existing sample up to its
+    #: theta instead of resampling (sound by the IMM martingale analysis)
+    warm_start: bool = False
 
     @classmethod
     def from_env(cls, **overrides) -> "ExperimentConfig":
@@ -80,6 +89,12 @@ class ExperimentConfig:
             ts = float(os.environ["REPRO_THETA_SCALE"])
             kwargs["theta_scale"] = ts
             kwargs["sweep_theta_scale"] = ts
+        if "REPRO_JOBS" in os.environ:
+            kwargs["n_jobs"] = int(os.environ["REPRO_JOBS"])
+        if "REPRO_WARM_START" in os.environ:
+            kwargs["warm_start"] = os.environ["REPRO_WARM_START"].strip().lower() in (
+                "1", "true", "yes", "on",
+            )
         kwargs.update(overrides)
         return cls(**kwargs)
 
@@ -90,6 +105,8 @@ class ExperimentConfig:
             get_dataset(code)  # validates
         if self.repeats < 1:
             raise ValidationError("repeats must be >= 1")
+        if self.n_jobs < 1:
+            raise ValidationError("n_jobs must be >= 1")
 
     # -- derived pieces --------------------------------------------------------
     def device(self, pressure: bool = False) -> DeviceSpec:
@@ -108,6 +125,15 @@ class ExperimentConfig:
         return BoundsConfig(
             theta_scale=self.sweep_theta_scale if sweep else self.theta_scale
         )
+
+    def sampler_pool(self, graph: DirectedGraph):
+        """The shared resident :class:`~repro.rrr.parallel.SamplerPool`
+        for ``graph`` under this config (``None`` when ``n_jobs == 1``)."""
+        if self.n_jobs == 1:
+            return None
+        from repro.rrr.parallel import shared_pool
+
+        return shared_pool(graph, self.n_jobs)
 
     def graph(self, code: str, model: str = "IC") -> DirectedGraph:
         """The weighted synthetic instance of dataset ``code`` (cached)."""

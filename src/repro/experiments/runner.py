@@ -5,6 +5,18 @@ cuRipples — their sampling semantics are identical, so duplicating it
 would only add noise — while eIM runs its own (source elimination changes
 theta).  Repeats re-run everything with fresh derived seeds and average
 the modeled cycle counts, mirroring the paper's 10-run averaging.
+
+Two cross-cell optimizations ride on :class:`ExperimentConfig`:
+
+* ``n_jobs > 1`` fans all sampling out over one resident
+  :class:`~repro.rrr.parallel.SamplerPool` per graph, shared by every
+  engine and every cell (the graph ships to the workers once);
+* ``warm_start=True`` replaces per-cell resampling with the warm-start
+  :class:`~repro.rrr.store.RRRStore`: each repeat keeps two streams per
+  (graph, model) — one with source elimination for eIM, one vanilla for
+  gIM/cuRipples — and every cell tops the cached sample up to its theta,
+  so a whole k/epsilon sweep costs O(max theta) sampling instead of
+  O(sum theta).
 """
 
 from __future__ import annotations
@@ -21,6 +33,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.gpu.device import DeviceSpec
 from repro.imm.bounds import BoundsConfig
 from repro.imm.imm import run_imm
+from repro.imm.options import IMMOptions
 from repro.utils.rng import spawn_generators
 
 
@@ -87,6 +100,28 @@ class ComparisonRow:
         return f"{self.speedup_vs_gim:.2f}"
 
 
+def _warm_stores(graph, model, rep, config, pool):
+    """The two per-repeat warm-start streams: (eIM, vanilla).
+
+    Entropy is a pure function of (seed, repeat, elimination flag); the
+    graph/model identity lives in the store key itself, so every cell of
+    a sweep — any k, any epsilon — lands on the same two streams.
+    """
+    from repro.rrr.store import shared_store
+
+    def make(eliminate: bool):
+        return shared_store(
+            graph,
+            model=model,
+            eliminate_sources=eliminate,
+            entropy=(config.seed, rep, int(eliminate)),
+            n_jobs=config.n_jobs,
+            pool=pool,
+        )
+
+    return make(True), make(False)
+
+
 def compare_engines(
     code: str,
     k: int,
@@ -96,6 +131,7 @@ def compare_engines(
     include_curipples: bool = True,
     device: Optional[DeviceSpec] = None,
     bounds: Optional[BoundsConfig] = None,
+    pool=None,
 ) -> ComparisonRow:
     """Run eIM, gIM (and optionally cuRipples) on one workload cell."""
     graph = config.graph(code, model)
@@ -107,17 +143,29 @@ def compare_engines(
     gim_engine = GIMEngine()
     cur_engine = CuRipplesEngine() if include_curipples else None
 
+    if pool is None:
+        pool = config.sampler_pool(graph)
+
     eim_runs, gim_runs, cur_runs = [], [], []
     streams = spawn_generators(config.seed * 1_000_003 + k_eff * 13 + int(epsilon * 1e6),
                                config.repeats * 2)
     for rep in range(config.repeats):
         rng_eim, rng_vanilla = streams[2 * rep], streams[2 * rep + 1]
+        if config.warm_start:
+            eim_store, vanilla_store = _warm_stores(graph, model, rep, config, pool)
+        else:
+            eim_store = vanilla_store = None
         eim_runs.append(
             eim_engine.run(graph, k_eff, epsilon, model, rng=rng_eim,
-                           bounds=bounds, device_spec=device)
+                           bounds=bounds, device_spec=device,
+                           pool=pool, store=eim_store, n_jobs=config.n_jobs)
         )
-        vanilla = run_imm(graph, k_eff, epsilon, model=model, rng=rng_vanilla,
-                          eliminate_sources=False, bounds=bounds)
+        vanilla = run_imm(
+            graph, k_eff, epsilon, rng=rng_vanilla,
+            options=IMMOptions(model=model, eliminate_sources=False,
+                               bounds=bounds, n_jobs=config.n_jobs),
+            pool=pool, store=vanilla_store,
+        )
         gim_runs.append(
             gim_engine.run(graph, k_eff, epsilon, model, bounds=bounds,
                            device_spec=device, imm_result=vanilla)

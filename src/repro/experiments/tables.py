@@ -116,28 +116,36 @@ def _sweep_table(
         title = f"eIM speedup over gIM under {model}, k=100, eps sweep"
     rows = []
     for code in config.datasets:
+        # one resident worker pool per dataset graph, shared by every
+        # sweep cell and every engine in it (None when n_jobs == 1)
+        pool = config.sampler_pool(config.graph(code, model))
         row_cells = [code]
         for v in values:
             if sweep == "k":
                 comparison = compare_engines(
                     code, int(v), config.default_epsilon, model, config,
                     include_curipples=False, device=device, bounds=bounds,
+                    pool=pool,
                 )
             else:
                 comparison = compare_engines(
                     code, 100, float(v), model, config,
                     include_curipples=False, device=device, bounds=bounds,
+                    pool=pool,
                 )
             cells[(code, v)] = comparison
             row_cells.append(comparison.table_cell_vs_gim())
         rows.append(row_cells)
+    notes = "OOM/x.xx marks gIM out-of-memory with eIM's simulated seconds"
+    if config.warm_start:
+        notes += "; warm-start RRR store shared across sweep cells"
     return TableResult(
         table=table,
         title=title,
         headers=headers,
         rows=rows,
         cells=cells,
-        notes="OOM/x.xx marks gIM out-of-memory with eIM's simulated seconds",
+        notes=notes,
     )
 
 

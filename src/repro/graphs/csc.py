@@ -9,6 +9,7 @@ vertex id, which the samplers and the log-encoded variant both rely on.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Optional
 
 import numpy as np
@@ -43,6 +44,7 @@ class DirectedGraph:
         "_csr_cache",
         "_cumw_cache",
         "_total_in_weight",
+        "_fingerprint",
     )
 
     def __init__(
@@ -74,6 +76,7 @@ class DirectedGraph:
         self._csr_cache: Optional[tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]] = None
         self._cumw_cache: Optional[np.ndarray] = None
         self._total_in_weight: Optional[np.ndarray] = None
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -151,6 +154,23 @@ class DirectedGraph:
     def has_weights(self) -> bool:
         """Whether edge weights have been assigned."""
         return self.weights is not None
+
+    def fingerprint(self) -> str:
+        """Content hash of the graph (structure + weights), cached.
+
+        Two graphs with equal CSC arrays share a fingerprint even when
+        they are distinct objects — the identity key of the shared
+        sampler pools and the warm-start RRR store, both of which must
+        survive graph-cache round trips.
+        """
+        if self._fingerprint is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(np.ascontiguousarray(self.indptr).tobytes())
+            h.update(np.ascontiguousarray(self.indices).tobytes())
+            if self.weights is not None:
+                h.update(np.ascontiguousarray(self.weights).tobytes())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # derived views

@@ -16,6 +16,7 @@ from repro.imm.bounds import (
 )
 from repro.imm.celf import run_celf_greedy
 from repro.imm.imm import IMMResult, run_imm
+from repro.imm.options import IMMOptions
 from repro.imm.oracle import InfluenceOracle
 from repro.imm.ris import run_ris
 from repro.imm.seed_selection import SelectionResult, select_seeds
@@ -23,6 +24,7 @@ from repro.imm.tim import TIMResult, run_tim
 
 __all__ = [
     "BoundsConfig",
+    "IMMOptions",
     "IMMResult",
     "InfluenceOracle",
     "SelectionResult",

@@ -10,13 +10,16 @@ analysis is exactly what makes this reuse sound).
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro import obs
 from repro.graphs.csc import DirectedGraph
 from repro.imm.bounds import BoundsConfig, adjusted_ell, lambda_prime, lambda_star
+from repro.imm.options import IMMOptions
 from repro.imm.seed_selection import SelectionResult, select_seeds
 from repro.obs.export import ProfileReport
 from repro.rrr import get_sampler
@@ -25,6 +28,10 @@ from repro.rrr.trace import SampleTrace, empty_trace
 from repro.utils.errors import ValidationError
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_probability
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.rrr.parallel import SamplerPool
+    from repro.rrr.store import RRRStore
 
 
 @dataclass
@@ -55,6 +62,7 @@ class IMMResult:
     eliminate_sources: bool
     phases: list[PhaseStat] = field(default_factory=list)
     profile: ProfileReport | None = None
+    options: IMMOptions | None = None
 
     @property
     def coverage_fraction(self) -> float:
@@ -84,32 +92,84 @@ class IMMResult:
         return base
 
 
+_UNSET = object()
+
+#: legacy run_imm keywords that moved into IMMOptions, in signature order
+_LEGACY_OPTION_KWARGS = (
+    "model",
+    "eliminate_sources",
+    "bounds",
+    "selection_strategy",
+    "batch_size",
+    "profile",
+)
+
+
 def run_imm(
     graph: DirectedGraph,
     k: int,
     epsilon: float,
-    model: str = "IC",
+    model=_UNSET,
     rng=None,
-    eliminate_sources: bool = False,
-    bounds: BoundsConfig | None = None,
-    selection_strategy: str = "fast",
-    batch_size: int = 16384,
-    profile: bool = False,
+    eliminate_sources=_UNSET,
+    bounds=_UNSET,
+    selection_strategy=_UNSET,
+    batch_size=_UNSET,
+    profile=_UNSET,
+    *,
+    options: IMMOptions | None = None,
+    pool: "SamplerPool | None" = None,
+    store: "RRRStore | None" = None,
 ) -> IMMResult:
     """Run IMM end to end and return seeds plus full diagnostics.
 
-    Parameters mirror the paper's experiments: ``k`` seed-set size,
-    ``epsilon`` approximation parameter (smaller -> more RRR sets),
-    ``model`` "IC" or "LT", ``eliminate_sources`` toggles the paper's
-    §3.4 heuristic (eIM's default; off reproduces vanilla IMM as in gIM
-    and cuRipples).
+    The stable call shape is ``run_imm(graph, k, epsilon, rng=...,
+    options=IMMOptions(...))``: ``k`` seed-set size, ``epsilon``
+    approximation parameter (smaller -> more RRR sets), and every other
+    knob — model, source elimination, bounds, selection strategy, batch
+    size, worker count, profiling — bundled in the frozen
+    :class:`~repro.imm.options.IMMOptions`.  The old per-knob keywords
+    (``model=``, ``eliminate_sources=``, ...) keep working through a
+    deprecation shim but cannot be mixed with ``options=``.
 
-    With ``profile=True`` live :mod:`repro.obs` collectors are installed
-    for the duration of the run (unless the caller already installed
-    some) and the resulting :class:`~repro.obs.ProfileReport` — per-phase
-    spans plus sampler/selection metrics — is attached as
+    With ``options.n_jobs > 1`` every sampling call fans out over a
+    resident :class:`~repro.rrr.parallel.SamplerPool` (created once per
+    graph and kept across phases and runs); pass ``pool=`` to share an
+    explicit pool, e.g. between engines of one comparison.  Pass
+    ``store=`` (a :class:`~repro.rrr.store.RRRStore`) to warm-start:
+    sampling becomes prefix reads of the store's persistent stream, so
+    consecutive runs with growing theta — a k-sweep — pay each RRR set
+    once.  With a store the run's randomness comes from the store's
+    entropy; ``rng`` is ignored for sampling.
+
+    With ``options.profile`` live :mod:`repro.obs` collectors are
+    installed for the duration of the run (unless the caller already
+    installed some) and the resulting :class:`~repro.obs.ProfileReport`
+    — per-phase spans plus sampler/selection metrics — is attached as
     ``IMMResult.profile``.
     """
+    legacy = {
+        name: value
+        for name, value in zip(
+            _LEGACY_OPTION_KWARGS,
+            (model, eliminate_sources, bounds, selection_strategy, batch_size, profile),
+        )
+        if value is not _UNSET
+    }
+    if options is not None and legacy:
+        raise ValidationError(
+            "pass options=IMMOptions(...) or the legacy keywords "
+            f"({', '.join(sorted(legacy))}), not both"
+        )
+    if options is None:
+        if legacy:
+            warnings.warn(
+                "run_imm's per-knob keywords are deprecated; pass "
+                "options=IMMOptions(" + ", ".join(f"{k}=..." for k in sorted(legacy)) + ")",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        options = IMMOptions(**legacy)
     if graph.weights is None:
         raise ValidationError("run_imm requires a weighted graph (assign_*_weights)")
     if not 1 <= k <= graph.n:
@@ -119,16 +179,24 @@ def run_imm(
         raise ValidationError("epsilon must be positive")
     if graph.n < 2:
         raise ValidationError("need at least two vertices")
+    if store is not None:
+        if store.graph.fingerprint() != graph.fingerprint():
+            raise ValidationError("store was built for a different graph")
+        if store.model != options.model:
+            raise ValidationError(
+                f"store samples {store.model}, options request {options.model}"
+            )
+        if store.eliminate_sources != options.eliminate_sources:
+            raise ValidationError(
+                "store and options disagree on eliminate_sources"
+            )
     handle = None
-    if profile and not obs.enabled():
+    if options.profile and not obs.enabled():
         handle = obs.install()
     try:
         with obs.span("imm.run"):
-            result = _run_imm_core(
-                graph, k, epsilon, model, rng, eliminate_sources,
-                bounds, selection_strategy, batch_size,
-            )
-        if profile:
+            result = _run_imm_core(graph, k, epsilon, rng, options, pool, store)
+        if options.profile:
             result.profile = obs.report()
         return result
     finally:
@@ -140,17 +208,38 @@ def _run_imm_core(
     graph: DirectedGraph,
     k: int,
     epsilon: float,
-    model: str,
     rng,
-    eliminate_sources: bool,
-    bounds: BoundsConfig | None,
-    selection_strategy: str,
-    batch_size: int,
+    options: IMMOptions,
+    pool: "SamplerPool | None" = None,
+    store: "RRRStore | None" = None,
 ) -> IMMResult:
-    bounds = bounds or BoundsConfig()
+    bounds = options.bounds or BoundsConfig()
+    model = options.model
+    eliminate_sources = options.eliminate_sources
     gen = as_generator(rng)
-    sampler = get_sampler(model)
     n = float(graph.n)
+
+    if store is None and pool is None and options.n_jobs > 1:
+        from repro.rrr.parallel import shared_pool
+
+        pool = shared_pool(graph, options.n_jobs)
+
+    if pool is not None:
+        def draw(count: int) -> tuple[RRRCollection, SampleTrace]:
+            return pool.sample(
+                model, count, rng=gen,
+                eliminate_sources=eliminate_sources,
+                batch_size=options.batch_size,
+            )
+    else:
+        sampler = get_sampler(model)
+
+        def draw(count: int) -> tuple[RRRCollection, SampleTrace]:
+            return sampler(
+                graph, count, rng=gen,
+                eliminate_sources=eliminate_sources,
+                batch_size=options.batch_size,
+            )
 
     ell = adjusted_ell(graph.n, bounds.ell)
     eps_prime = math.sqrt(2.0) * epsilon
@@ -174,20 +263,17 @@ def _run_imm_core(
             theta_i = bounds.cap(lam_prime / x)
             if theta_i > num_sets:
                 with obs.span("imm.sampling"):
-                    extra, extra_trace = sampler(
-                        graph,
-                        theta_i - num_sets,
-                        rng=gen,
-                        eliminate_sources=eliminate_sources,
-                        batch_size=batch_size,
-                    )
-                parts.append(extra)
-                trace = trace.merged_with(extra_trace)
+                    if store is not None:
+                        collection, trace = store.ensure(theta_i)
+                    else:
+                        extra, extra_trace = draw(theta_i - num_sets)
+                        parts.append(extra)
+                        trace = trace.merged_with(extra_trace)
+                        collection = RRRCollection.concat(parts)
+                        parts = [collection]
                 num_sets = theta_i
-                collection = RRRCollection.concat(parts)
-                parts = [collection]
             with obs.span("imm.selection"):
-                sel = select_seeds(collection, k, strategy=selection_strategy)
+                sel = select_seeds(collection, k, strategy=options.selection_strategy)
             last_selection = sel
             influence_est = n * sel.coverage_fraction
             passed = influence_est >= (1.0 + eps_prime) * x
@@ -211,23 +297,20 @@ def _run_imm_core(
     theta = bounds.cap(lambda_star(graph.n, k, epsilon, ell) / lower_bound)
     if theta > num_sets:
         with obs.span("imm.final_sampling"):
-            extra, extra_trace = sampler(
-                graph,
-                theta - num_sets,
-                rng=gen,
-                eliminate_sources=eliminate_sources,
-                batch_size=batch_size,
-            )
-        parts.append(extra)
-        trace = trace.merged_with(extra_trace)
-        collection = RRRCollection.concat(parts)
+            if store is not None:
+                collection, trace = store.ensure(theta)
+            else:
+                extra, extra_trace = draw(theta - num_sets)
+                parts.append(extra)
+                trace = trace.merged_with(extra_trace)
+                collection = RRRCollection.concat(parts)
         last_selection = None
     final_theta = max(theta, num_sets)
 
     if last_selection is None:
         # the collection grew since the last estimation-phase selection
         with obs.span("imm.selection"):
-            selection = select_seeds(collection, k, strategy=selection_strategy)
+            selection = select_seeds(collection, k, strategy=options.selection_strategy)
     else:
         # the last estimation phase already ran greedy on this exact
         # collection; re-running it would reproduce the result bit for bit
@@ -246,7 +329,8 @@ def _run_imm_core(
         lower_bound=lower_bound,
         k=k,
         epsilon=epsilon,
-        model=model.upper(),
+        model=model,
         eliminate_sources=eliminate_sources,
         phases=phases,
+        options=options,
     )

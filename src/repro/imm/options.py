@@ -1,0 +1,84 @@
+"""The frozen options bundle behind :func:`repro.imm.run_imm`.
+
+``run_imm`` historically grew one positional keyword per knob; the
+stable public API is now ``run_imm(graph, k, epsilon, rng=...,
+options=IMMOptions(...))``.  The old keywords keep working through a
+deprecation shim (see :func:`repro.imm.imm.run_imm`) so existing
+callers migrate at their own pace.
+
+``IMMOptions`` is frozen (hashable, safely shareable across runs of a
+sweep) and validates eagerly, so a bad knob fails at construction time
+rather than mid-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+from repro.imm.bounds import BoundsConfig
+from repro.utils.errors import ValidationError
+
+_MODELS = ("IC", "LT")
+_SELECTION_STRATEGIES = ("fast", "reference")
+
+
+@dataclass(frozen=True)
+class IMMOptions:
+    """Every algorithmic knob of one :func:`run_imm` invocation.
+
+    Attributes
+    ----------
+    model:
+        Diffusion model, ``"IC"`` or ``"LT"`` (case-insensitive).
+    eliminate_sources:
+        The paper's §3.4 heuristic (eIM's default; off reproduces
+        vanilla IMM as in gIM and cuRipples).
+    bounds:
+        :class:`~repro.imm.bounds.BoundsConfig` overriding the
+        martingale sample-size bounds; ``None`` means exact bounds.
+    selection_strategy:
+        Greedy max-coverage implementation, ``"fast"`` or
+        ``"reference"``.
+    batch_size:
+        Sets per lockstep sampler batch (forwarded to pool workers).
+    n_jobs:
+        Worker processes for RRR sampling; ``1`` keeps everything
+        in-process, ``> 1`` fans sampling out over a resident
+        :class:`~repro.rrr.parallel.SamplerPool`.
+    profile:
+        Install live :mod:`repro.obs` collectors for the run and attach
+        the report as ``IMMResult.profile``.
+    """
+
+    model: str = "IC"
+    eliminate_sources: bool = False
+    bounds: BoundsConfig | None = None
+    selection_strategy: str = "fast"
+    batch_size: int = 16384
+    n_jobs: int = 1
+    profile: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(self, "model", str(self.model).upper())
+        if self.model not in _MODELS:
+            raise ValidationError(
+                f"unknown diffusion model {self.model!r}; choose IC or LT"
+            )
+        if self.selection_strategy not in _SELECTION_STRATEGIES:
+            raise ValidationError(
+                f"unknown selection strategy {self.selection_strategy!r}; "
+                f"choose one of {_SELECTION_STRATEGIES}"
+            )
+        if self.batch_size < 1:
+            raise ValidationError("batch_size must be >= 1")
+        if self.n_jobs < 1:
+            raise ValidationError("n_jobs must be >= 1")
+
+    def replace(self, **changes) -> "IMMOptions":
+        """A copy with ``changes`` applied (frozen-dataclass convenience)."""
+        return replace(self, **changes)
+
+    @classmethod
+    def field_names(cls) -> tuple[str, ...]:
+        """Names of all option fields (the legacy-keyword surface)."""
+        return tuple(f.name for f in fields(cls))

@@ -24,6 +24,8 @@ __all__ = [
     "CollectionStatistics",
     "RRRBuilder",
     "RRRCollection",
+    "RRRStore",
+    "SamplerPool",
     "SampleTrace",
     "collection_statistics",
     "coverage_concentration",
@@ -31,8 +33,25 @@ __all__ = [
     "sample_rrr_ic",
     "sample_rrr_lt",
     "sample_rrr_parallel",
+    "shared_pool",
+    "shared_store",
     "size_histogram",
 ]
+
+
+def __getattr__(name: str):
+    # SamplerPool/shared_pool pull in concurrent.futures and RRRStore
+    # builds on them; resolve lazily so the multiprocessing machinery
+    # stays out of the import path of single-process users.
+    if name in ("SamplerPool", "shared_pool", "shutdown_pools"):
+        from repro.rrr import parallel
+
+        return getattr(parallel, name)
+    if name in ("RRRStore", "shared_store", "clear_stores"):
+        from repro.rrr import store
+
+        return getattr(store, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def sample_rrr_parallel(*args, **kwargs):

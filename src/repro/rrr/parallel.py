@@ -1,23 +1,29 @@
-"""Process-parallel RRR sampling for multi-core hosts.
+"""Resident process-parallel RRR sampling for multi-core hosts.
 
 The vectorized samplers already saturate one core's memory bandwidth;
 on multi-core machines (the paper's host has 16) RRR generation is
 embarrassingly parallel — Ripples' whole design point — so this module
-fans a request out over a process pool.  Each worker gets an
-independent spawned RNG stream and a share of the set count; results
-merge in worker order, so a given ``(rng, n_jobs)`` pair is fully
-deterministic.
+fans a request out over a process pool.  The pool is *resident*: a
+:class:`SamplerPool` owns one :class:`ProcessPoolExecutor` per graph,
+ships the (pickled) CSC arrays once per worker via the executor's
+initializer, and stays alive across every estimation phase and final
+top-up of an IMM run — and, through :func:`shared_pool`, across all
+runs of a sweep.  Re-building the executor per call (the old
+``sample_rrr_parallel`` behaviour) re-pickled the whole graph every
+time, which dominated the fan-out cost it was supposed to amortize.
 
-Workers receive the *spawned* :class:`numpy.random.SeedSequence`
-children themselves (they pickle cleanly), so the stream a worker runs
-is bit-for-bit the stream ``spawn_generators`` would hand out
+Each call splits the set count into one job per worker; every job
+carries an independent spawned RNG stream and results merge in job
+order, so a given ``(rng, n_jobs)`` pair is fully deterministic no
+matter which OS process picks up which job.
+
+Jobs receive the *spawned* :class:`numpy.random.SeedSequence` children
+themselves (they pickle cleanly), so the stream a worker runs is
+bit-for-bit the stream ``spawn_generators`` would hand out
 parent-side.  Re-seeding ``PCG64`` from a generator's raw 128-bit
 state would instead re-hash that state through SeedSequence and drop
 the stream increment — a silent loss of the independence guarantee
 this module promises.
-
-Workers re-generate nothing graph-side: the (pickled) CSC arrays ship
-once per worker via the executor's initializer.
 """
 
 from __future__ import annotations
@@ -43,13 +49,17 @@ def _init_worker(indptr, indices, weights):
 
 
 def _worker_sample(args):
-    model, num_sets, seed_seq, eliminate_sources = args
+    model, num_sets, seed_seq, eliminate_sources, batch_size = args
     from repro.rrr import get_sampler
 
     sampler = get_sampler(model)
     rng = np.random.Generator(np.random.PCG64(seed_seq))
     collection, trace = sampler(
-        _WORKER_GRAPH, num_sets, rng=rng, eliminate_sources=eliminate_sources
+        _WORKER_GRAPH,
+        num_sets,
+        rng=rng,
+        eliminate_sources=eliminate_sources,
+        batch_size=batch_size,
     )
     return (
         collection.flat,
@@ -59,6 +69,148 @@ def _worker_sample(args):
     )
 
 
+class SamplerPool:
+    """A persistent worker pool sampling RRR sets for one graph.
+
+    The executor is created lazily on the first call that actually fans
+    out (so ``n_jobs=1`` pools never touch multiprocessing) and is then
+    reused by every subsequent :meth:`sample` call until :meth:`close`.
+    The graph ships to each worker exactly once, at pool start-up.
+
+    Determinism contract: ``sample`` spawns fresh ``SeedSequence``
+    children from the caller's ``rng`` on every call, so for a fixed
+    ``(rng, n_jobs)`` the produced collection is bit-identical across
+    calls, across pool instances, and across interleaved reuse — merge
+    order is job order, never completion order.  Small requests
+    (``num_sets < 2 * n_jobs``) fall through to the in-process sampler
+    using the caller's ``rng`` directly, matching the serial path.
+    """
+
+    def __init__(self, graph: DirectedGraph, n_jobs: int):
+        if graph.weights is None:
+            raise ValidationError("parallel sampling requires a weighted graph")
+        if n_jobs < 1:
+            raise ValidationError("n_jobs must be >= 1")
+        self.graph = graph
+        self.n_jobs = int(n_jobs)
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        """Whether the worker processes exist yet."""
+        return self._executor is not None
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            with obs.span("rrr.parallel.pool_start"):
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.n_jobs,
+                    initializer=_init_worker,
+                    initargs=(
+                        self.graph.indptr,
+                        self.graph.indices,
+                        self.graph.weights,
+                    ),
+                )
+            obs.counter_add("rrr.parallel.pool_created", 1)
+        else:
+            obs.counter_add("rrr.parallel.pool_reused", 1)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "SamplerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- sampling ------------------------------------------------------------
+    def sample(
+        self,
+        model: str,
+        num_sets: int,
+        rng=None,
+        eliminate_sources: bool = False,
+        batch_size: int = 16384,
+    ) -> tuple[RRRCollection, SampleTrace]:
+        """Sample ``num_sets`` RRR sets across the pool's workers.
+
+        Semantically identical to the single-process samplers (same
+        distribution; deterministic for fixed ``rng`` and ``n_jobs``).
+        """
+        if num_sets < 0:
+            raise ValidationError("num_sets must be non-negative")
+        if self.n_jobs == 1 or num_sets < 2 * self.n_jobs:
+            from repro.rrr import get_sampler
+
+            return get_sampler(model)(
+                self.graph,
+                num_sets,
+                rng=rng,
+                eliminate_sources=eliminate_sources,
+                batch_size=batch_size,
+            )
+
+        children = spawn_seed_sequences(rng, self.n_jobs)
+        share = num_sets // self.n_jobs
+        counts = [share] * self.n_jobs
+        counts[-1] += num_sets - share * self.n_jobs
+        jobs = [
+            (model.upper(), counts[i], children[i], eliminate_sources, batch_size)
+            for i in range(self.n_jobs)
+        ]
+        obs.counter_add("rrr.parallel.jobs", self.n_jobs)
+        executor = self._ensure_executor()
+        with obs.span("rrr.parallel.sample"):
+            results = list(executor.map(_worker_sample, jobs))
+
+        with obs.span("rrr.parallel.merge"):
+            parts = [
+                RRRCollection(flat, offsets, self.graph.n, sources=sources, check=False)
+                for flat, offsets, sources, _ in results
+            ]
+            collection = RRRCollection.concat(parts)
+            trace = empty_trace()
+            for _, _, _, t in results:
+                trace = trace.merged_with(t)
+        return collection, trace
+
+
+# -- shared pool registry ----------------------------------------------------
+#: pools keyed by (graph fingerprint, n_jobs); one executor per key lives
+#: for the whole process (ProcessPoolExecutor registers its own atexit
+#: shutdown), so sweeps over many (k, epsilon) cells share workers.
+_POOLS: dict[tuple[str, int], SamplerPool] = {}
+
+
+def shared_pool(graph: DirectedGraph, n_jobs: int) -> SamplerPool:
+    """The process-wide resident pool for ``(graph, n_jobs)``.
+
+    Keyed by content fingerprint, not object identity, so regenerated
+    graph instances (e.g. out of ``ExperimentConfig``'s cache) land on
+    the same workers.
+    """
+    key = (graph.fingerprint(), int(n_jobs))
+    pool = _POOLS.get(key)
+    if pool is None:
+        pool = SamplerPool(graph, n_jobs)
+        _POOLS[key] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Close every shared pool (tests and long-lived services)."""
+    for pool in _POOLS.values():
+        pool.close()
+    _POOLS.clear()
+
+
 def sample_rrr_parallel(
     graph: DirectedGraph,
     num_sets: int,
@@ -66,12 +218,14 @@ def sample_rrr_parallel(
     rng=None,
     n_jobs: int = 2,
     eliminate_sources: bool = False,
+    batch_size: int = 16384,
+    pool: Optional[SamplerPool] = None,
 ) -> tuple[RRRCollection, SampleTrace]:
     """Sample ``num_sets`` RRR sets across ``n_jobs`` worker processes.
 
-    Semantically identical to the single-process samplers (same
-    distribution; deterministic for fixed ``rng`` and ``n_jobs``); worth
-    using once per-call set counts reach the hundreds of thousands.
+    Back-compat functional front-end over :class:`SamplerPool`; uses the
+    process-wide :func:`shared_pool` (or an explicit ``pool``) so
+    repeated calls stop re-shipping the graph.
     """
     if graph.weights is None:
         raise ValidationError("parallel sampling requires a weighted graph")
@@ -79,37 +233,16 @@ def sample_rrr_parallel(
         raise ValidationError("num_sets must be non-negative")
     if n_jobs < 1:
         raise ValidationError("n_jobs must be >= 1")
-    if n_jobs == 1 or num_sets < 2 * n_jobs:
-        from repro.rrr import get_sampler
-
-        return get_sampler(model)(
-            graph, num_sets, rng=rng, eliminate_sources=eliminate_sources
+    if pool is None:
+        pool = shared_pool(graph, n_jobs)
+    elif pool.n_jobs != n_jobs:
+        raise ValidationError(
+            f"pool has n_jobs={pool.n_jobs}, call requested {n_jobs}"
         )
-
-    children = spawn_seed_sequences(rng, n_jobs)
-    share = num_sets // n_jobs
-    counts = [share] * n_jobs
-    counts[-1] += num_sets - share * n_jobs
-    jobs = [
-        (model.upper(), counts[i], children[i], eliminate_sources)
-        for i in range(n_jobs)
-    ]
-    obs.counter_add("rrr.parallel.jobs", n_jobs)
-    with obs.span("rrr.parallel.sample"):
-        with ProcessPoolExecutor(
-            max_workers=n_jobs,
-            initializer=_init_worker,
-            initargs=(graph.indptr, graph.indices, graph.weights),
-        ) as pool:
-            results = list(pool.map(_worker_sample, jobs))
-
-    with obs.span("rrr.parallel.merge"):
-        parts = [
-            RRRCollection(flat, offsets, graph.n, sources=sources, check=False)
-            for flat, offsets, sources, _ in results
-        ]
-        collection = RRRCollection.concat(parts)
-        trace = empty_trace()
-        for _, _, _, t in results:
-            trace = trace.merged_with(t)
-    return collection, trace
+    return pool.sample(
+        model,
+        num_sets,
+        rng=rng,
+        eliminate_sources=eliminate_sources,
+        batch_size=batch_size,
+    )

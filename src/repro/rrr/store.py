@@ -1,0 +1,261 @@
+"""Warm-start RRR store: grow a sample once, serve every θ as a prefix.
+
+The IMM martingale analysis (Tang et al. 2015) is exactly what makes
+RRR-sample reuse sound: the algorithm only ever needs "the first θ sets
+of a fixed random stream", for a θ that grows within a run *and across
+the runs of a k/ε sweep*.  The tables drivers used to resample from
+scratch for every (k, ε) cell — O(Σθᵢ) sampling for a sweep whose
+information content is O(max θᵢ).
+
+:class:`RRRStore` materializes that stream incrementally, in chunks.
+Chunk ``j`` is always drawn from the stream
+``SeedSequence(entropy, spawn_key=(j,))`` and always holds
+``chunk_sets << min(j, _CHUNK_DOUBLINGS)`` kept sets — both pure
+functions of ``j`` — so the first θ sets are a deterministic function
+of the store key alone, independent of the ``ensure`` call pattern.
+Cached-then-topped-up and freshly-grown stores with the same key agree
+bit for bit on every shared prefix.
+
+The identity of a stream is its :func:`store_key`:
+``(graph fingerprint, model, eliminate_sources, entropy, n_jobs,
+chunk_sets, batch_size)`` — everything that shapes either the draws or
+their consumption order.  :func:`shared_store` keeps one store per key
+for the whole process so sweep drivers (and user code) transparently
+share samples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import obs
+from repro.graphs.csc import DirectedGraph
+from repro.rrr.collection import RRRCollection
+from repro.rrr.parallel import SamplerPool
+from repro.rrr.trace import SampleTrace, empty_trace
+from repro.utils.errors import ValidationError
+
+#: chunk sizes double this many times (then stay flat) so huge θ requests
+#: need O(log θ) chunks early on without unbounded overshoot later
+_CHUNK_DOUBLINGS = 6
+
+
+def _normalize_entropy(entropy) -> tuple[int, ...]:
+    """Entropy as a hashable tuple of non-negative ints."""
+    if isinstance(entropy, (int, np.integer)):
+        entropy = (int(entropy),)
+    try:
+        out = tuple(int(e) for e in entropy)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(
+            f"entropy must be an int or an iterable of ints, got {entropy!r}"
+        ) from exc
+    if not out or any(e < 0 for e in out):
+        raise ValidationError("entropy must contain at least one int >= 0")
+    return out
+
+
+class RRRStore:
+    """An append-only RRR sample for one (graph, model, stream) triple.
+
+    :meth:`ensure` returns the first ``theta`` sets (and the matching
+    per-set trace) of the store's stream, sampling only what is not yet
+    cached.  All chunks are kept, so successive calls with growing θ —
+    IMM's estimation phases, or a whole k-sweep — pay each set's
+    traversal exactly once.
+    """
+
+    def __init__(
+        self,
+        graph: DirectedGraph,
+        model: str = "IC",
+        eliminate_sources: bool = False,
+        entropy=0,
+        n_jobs: int = 1,
+        pool: Optional[SamplerPool] = None,
+        chunk_sets: int = 4096,
+        batch_size: int = 16384,
+    ):
+        if graph.weights is None:
+            raise ValidationError("RRRStore requires a weighted graph")
+        if chunk_sets < 1:
+            raise ValidationError("chunk_sets must be >= 1")
+        if n_jobs < 1:
+            raise ValidationError("n_jobs must be >= 1")
+        if pool is not None and pool.n_jobs != n_jobs:
+            raise ValidationError(
+                f"pool has n_jobs={pool.n_jobs}, store requested {n_jobs}"
+            )
+        self.graph = graph
+        self.model = str(model).upper()
+        self.eliminate_sources = bool(eliminate_sources)
+        self.entropy = _normalize_entropy(entropy)
+        self.n_jobs = int(n_jobs)
+        self.chunk_sets = int(chunk_sets)
+        self.batch_size = int(batch_size)
+        self._pool = pool
+        self._chunks: list[tuple[RRRCollection, SampleTrace]] = []
+        self._collection: Optional[RRRCollection] = None  # concat cache
+        self._trace: Optional[SampleTrace] = None
+
+    # -- identity ------------------------------------------------------------
+    def key(self) -> tuple:
+        """The stream-identity tuple this store caches under."""
+        return (
+            self.graph.fingerprint(),
+            self.model,
+            self.eliminate_sources,
+            self.entropy,
+            self.n_jobs,
+            self.chunk_sets,
+            self.batch_size,
+        )
+
+    @property
+    def num_cached(self) -> int:
+        """Kept RRR sets materialized so far."""
+        return sum(c.num_sets for c, _ in self._chunks)
+
+    # -- growth --------------------------------------------------------------
+    def _chunk_size(self, j: int) -> int:
+        return self.chunk_sets << min(j, _CHUNK_DOUBLINGS)
+
+    def _chunk_rng(self, j: int) -> np.random.Generator:
+        # spawn_key=(j,) is exactly what SeedSequence(entropy).spawn()
+        # would produce as its j-th child, without having to persist (or
+        # trust the call history of) a live parent object
+        seq = np.random.SeedSequence(self.entropy, spawn_key=(j,))
+        return np.random.Generator(np.random.PCG64(seq))
+
+    def _sample_chunk(self, j: int) -> tuple[RRRCollection, SampleTrace]:
+        rng = self._chunk_rng(j)
+        count = self._chunk_size(j)
+        if self.n_jobs > 1:
+            if self._pool is None:
+                from repro.rrr.parallel import shared_pool
+
+                self._pool = shared_pool(self.graph, self.n_jobs)
+            return self._pool.sample(
+                self.model,
+                count,
+                rng=rng,
+                eliminate_sources=self.eliminate_sources,
+                batch_size=self.batch_size,
+            )
+        from repro.rrr import get_sampler
+
+        return get_sampler(self.model)(
+            self.graph,
+            count,
+            rng=rng,
+            eliminate_sources=self.eliminate_sources,
+            batch_size=self.batch_size,
+        )
+
+    def ensure(self, theta: int) -> tuple[RRRCollection, SampleTrace]:
+        """The first ``theta`` sets of this stream, sampling any deficit.
+
+        Returns a prefix view (cheap slices of the cached arrays) plus
+        the per-set trace covering exactly the attempts that produced
+        those ``theta`` kept sets.
+        """
+        if theta < 0:
+            raise ValidationError("theta must be non-negative")
+        obs.counter_add("rrr.store.requests", 1)
+        cached = self.num_cached
+        obs.counter_add("rrr.store.reused_sets", min(theta, cached))
+        sampled_new = 0
+        while self.num_cached < theta:
+            with obs.span("rrr.store.topup"):
+                chunk = self._sample_chunk(len(self._chunks))
+            self._chunks.append(chunk)
+            sampled_new += chunk[0].num_sets
+            self._collection = None
+            self._trace = None
+        if sampled_new:
+            obs.counter_add("rrr.store.topups", 1)
+            obs.counter_add("rrr.store.sampled_sets", sampled_new)
+        if self._collection is None:
+            if self._chunks:
+                self._collection = RRRCollection.concat([c for c, _ in self._chunks])
+                trace = empty_trace()
+                for _, t in self._chunks:
+                    trace = trace.merged_with(t)
+                self._trace = trace
+            else:
+                self._collection = RRRCollection(
+                    np.empty(0, dtype=np.int32),
+                    np.zeros(1, dtype=np.int64),
+                    self.graph.n,
+                    sources=np.empty(0, dtype=np.int64),
+                )
+                self._trace = empty_trace()
+        return self._collection.prefix(theta), self._trace_prefix(theta)
+
+    def _trace_prefix(self, theta: int) -> SampleTrace:
+        """The trace slice covering the attempts behind the first
+        ``theta`` kept sets (discarded attempts in between included)."""
+        trace = self._trace
+        if theta == 0 or trace.attempted == 0:
+            return empty_trace()
+        kept_cum = np.cumsum(trace.kept_mask)
+        cut = int(np.searchsorted(kept_cum, theta, side="left")) + 1
+        if cut >= trace.attempted:
+            return trace
+        # raw_singletons is a scalar over the whole sample; pro-rate it
+        # over the attempts actually consumed (diagnostic only)
+        raw = int(round(trace.raw_singletons * cut / trace.attempted))
+        return SampleTrace(
+            sizes=trace.sizes[:cut],
+            rounds=trace.rounds[:cut],
+            edges_examined=trace.edges_examined[:cut],
+            kept_mask=trace.kept_mask[:cut],
+            raw_singletons=raw,
+            sources=trace.sources[:cut],
+        )
+
+
+# -- shared store registry ---------------------------------------------------
+_STORES: dict[tuple, RRRStore] = {}
+
+
+def shared_store(
+    graph: DirectedGraph,
+    model: str = "IC",
+    eliminate_sources: bool = False,
+    entropy=0,
+    n_jobs: int = 1,
+    pool: Optional[SamplerPool] = None,
+    chunk_sets: int = 4096,
+    batch_size: int = 16384,
+) -> RRRStore:
+    """The process-wide :class:`RRRStore` for this stream identity.
+
+    Repeated calls with the same key — e.g. every cell of a k-sweep —
+    return the same store, which is what turns the sweep's sampling cost
+    from O(Σθᵢ) into O(max θᵢ).
+    """
+    store = RRRStore(
+        graph,
+        model=model,
+        eliminate_sources=eliminate_sources,
+        entropy=entropy,
+        n_jobs=n_jobs,
+        pool=pool,
+        chunk_sets=chunk_sets,
+        batch_size=batch_size,
+    )
+    key = store.key()
+    cached = _STORES.get(key)
+    if cached is not None:
+        obs.counter_add("rrr.store.shared_hits", 1)
+        return cached
+    _STORES[key] = store
+    return store
+
+
+def clear_stores() -> None:
+    """Drop every shared store (tests and memory-pressure relief)."""
+    _STORES.clear()

@@ -1,0 +1,69 @@
+"""Warm-start sweep economics: a k-sweep samples O(max theta), not O(sum theta).
+
+Runs the same tiny k-sweep twice through ``compare_engines`` — once
+resampling every cell from scratch, once with ``warm_start=True`` so all
+cells top up the two shared :class:`~repro.rrr.store.RRRStore` streams —
+and compares the ``rrr.sets_sampled`` obs counter (every set the
+samplers actually materialized, including store chunk overshoot).
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import compare_engines
+from repro.rrr.store import clear_stores
+
+K_SWEEP = (4, 8, 12, 16, 20)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    clear_stores()
+    yield
+    clear_stores()
+
+
+def _run_sweep(warm_start: bool):
+    clear_stores()
+    config = ExperimentConfig(
+        scale="tiny", datasets=("WV",), seed=7,
+        theta_scale=0.2, sweep_theta_scale=0.2, warm_start=warm_start,
+    )
+    rows = []
+    with obs.profiled() as handle:
+        for k in K_SWEEP:
+            rows.append(compare_engines("WV", k, 0.3, "IC", config,
+                                        include_curipples=False))
+    return handle.report().counters, rows
+
+
+def test_warm_start_sweep_samples_fewer_sets():
+    cold_counters, cold_rows = _run_sweep(warm_start=False)
+    warm_counters, warm_rows = _run_sweep(warm_start=True)
+
+    cold_sampled = cold_counters["rrr.sets_sampled"]
+    warm_sampled = warm_counters["rrr.sets_sampled"]
+    assert cold_sampled > 0
+    # measurably fewer materialized sets (empirically ~0.6x here; allow
+    # slack for bound/selection drift)
+    assert warm_sampled < 0.85 * cold_sampled
+    # and the cells genuinely read back cached sets
+    assert warm_counters["rrr.store.reused_sets"] > 0
+    assert cold_counters.get("rrr.store.reused_sets", 0) == 0
+
+    # warm cells are still real IMM runs: full-size distinct seed sets
+    for row, k in zip(warm_rows, K_SWEEP):
+        for result in (row.eim, row.gim):
+            assert len(set(result.seeds.tolist())) == k
+            assert result.theta > 0
+
+
+def test_warm_start_sweep_is_deterministic():
+    _, first = _run_sweep(warm_start=True)
+    _, second = _run_sweep(warm_start=True)
+    for a, b in zip(first, second):
+        assert np.array_equal(a.eim.seeds, b.eim.seeds)
+        assert np.array_equal(a.gim.seeds, b.gim.seeds)
+        assert a.eim.theta == b.eim.theta

@@ -100,3 +100,34 @@ def test_parser_rejects_unknown():
         build_parser().parse_args(["experiment", "table99"])
     with pytest.raises(SystemExit):
         build_parser().parse_args(["seeds"])  # needs a source
+
+
+def test_jobs_flag_parsed_on_both_subcommands():
+    parser = build_parser()
+    seeds = parser.parse_args(["seeds", "--dataset", "WV", "--jobs", "2"])
+    assert seeds.jobs == 2
+    compare = parser.parse_args(
+        ["compare", "--dataset", "WV", "--jobs", "3", "--warm-start"]
+    )
+    assert compare.jobs == 3 and compare.warm_start
+    # shared workload defaults stay per-subcommand despite the common parent
+    assert (seeds.k, seeds.epsilon) == (10, 0.2)
+    assert (compare.k, compare.epsilon) == (50, 0.1)
+
+
+def test_seeds_command_with_jobs(capsys):
+    rc = main([
+        "seeds", "--dataset", "WV", "--k", "3", "--epsilon", "0.4",
+        "--theta-scale", "0.05", "--jobs", "2",
+    ])
+    assert rc == 0
+    assert "seeds:" in capsys.readouterr().out
+
+
+def test_compare_command_warm_start(capsys):
+    rc = main([
+        "compare", "--dataset", "WV", "--k", "5", "--epsilon", "0.3",
+        "--theta-scale", "0.1", "--warm-start",
+    ])
+    assert rc == 0
+    assert "speedup" in capsys.readouterr().out

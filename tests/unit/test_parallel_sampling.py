@@ -97,3 +97,64 @@ def test_worker_generator_construction_matches_spawned_child():
     for child, expected in zip(children, parent_side):
         worker_side = np.random.Generator(np.random.PCG64(child))
         assert np.array_equal(worker_side.random(16), expected.random(16))
+
+
+def test_batch_size_forwarded_to_workers(small_ic_graph):
+    # regression: the worker job tuple used to drop the caller's
+    # batch_size, so workers sampled with the default and diverged from
+    # the serial streams whenever batch_size != 16384
+    from repro.rrr import sample_rrr_ic
+    from repro.utils.rng import spawn_generators
+
+    total, n_jobs, bs = 500, 2, 64
+    par, _ = sample_rrr_parallel(
+        small_ic_graph, total, rng=9, n_jobs=n_jobs, batch_size=bs
+    )
+    gens = spawn_generators(9, n_jobs)
+    share = total // n_jobs
+    parts = []
+    for i, gen in enumerate(gens):
+        count = share + (total - share * n_jobs if i == n_jobs - 1 else 0)
+        parts.append(
+            sample_rrr_ic(small_ic_graph, count, rng=gen, batch_size=bs)[0]
+        )
+    manual_flat = np.concatenate([p.flat for p in parts])
+    assert np.array_equal(par.flat, manual_flat)
+
+
+def test_sampler_pool_resident_reuse(small_ic_graph):
+    from repro.rrr.parallel import SamplerPool
+
+    with SamplerPool(small_ic_graph, n_jobs=2) as pool:
+        assert not pool.started  # lazy: no workers until the first fan-out
+        a, _ = pool.sample("IC", 400, rng=21)
+        assert pool.started
+        b, _ = pool.sample("IC", 400, rng=21)
+        # the resident pool is stateless across calls: same rng, same sets
+        assert np.array_equal(a.flat, b.flat)
+        one_shot, _ = sample_rrr_parallel(small_ic_graph, 400, rng=21, n_jobs=2)
+        assert np.array_equal(a.flat, one_shot.flat)
+    assert not pool.started  # close() tore the executor down
+
+
+def test_sampler_pool_small_requests_stay_serial(small_ic_graph):
+    from repro.rrr import sample_rrr_ic
+    from repro.rrr.parallel import SamplerPool
+
+    with SamplerPool(small_ic_graph, n_jobs=4) as pool:
+        coll, _ = pool.sample("IC", 3, rng=5)
+        assert not pool.started  # 3 sets < 2 * n_jobs: not worth a fan-out
+    ser, _ = sample_rrr_ic(small_ic_graph, 3, rng=5)
+    assert np.array_equal(coll.flat, ser.flat)
+
+
+def test_shared_pool_identity_and_mismatch(small_ic_graph):
+    from repro.rrr.parallel import shared_pool
+
+    p1 = shared_pool(small_ic_graph, 2)
+    p2 = shared_pool(small_ic_graph, 2)
+    p3 = shared_pool(small_ic_graph, 3)
+    assert p1 is p2
+    assert p1 is not p3
+    with pytest.raises(ValidationError):
+        sample_rrr_parallel(small_ic_graph, 100, rng=0, n_jobs=4, pool=p1)

@@ -1,0 +1,132 @@
+"""Warm-start RRR store: prefix determinism, top-ups, and the registry."""
+
+import numpy as np
+import pytest
+
+from repro import IMMOptions, obs, run_imm
+from repro.imm.bounds import BoundsConfig
+from repro.rrr.store import RRRStore, clear_stores, shared_store
+from repro.utils.errors import ValidationError
+
+BOUNDS = BoundsConfig(theta_scale=0.1)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    clear_stores()
+    yield
+    clear_stores()
+
+
+def test_validation(small_ic_graph, line_graph):
+    with pytest.raises(ValidationError):
+        RRRStore(line_graph)  # unweighted
+    with pytest.raises(ValidationError):
+        RRRStore(small_ic_graph, chunk_sets=0)
+    with pytest.raises(ValidationError):
+        RRRStore(small_ic_graph, entropy=())
+    with pytest.raises(ValidationError):
+        RRRStore(small_ic_graph, entropy="nope")
+
+
+def test_topup_prefix_equals_fresh_sample(small_ic_graph):
+    # acceptance: cached-then-topped-up equals a fresh sample of the
+    # same stream, bit for bit
+    grown_store = RRRStore(small_ic_graph, entropy=(1, 2), chunk_sets=64)
+    small, small_trace = grown_store.ensure(100)
+    grown, grown_trace = grown_store.ensure(900)
+
+    fresh = RRRStore(small_ic_graph, entropy=(1, 2), chunk_sets=64)
+    direct, direct_trace = fresh.ensure(900)
+
+    assert np.array_equal(grown.flat, direct.flat)
+    assert np.array_equal(grown.offsets, direct.offsets)
+    assert np.array_equal(grown.sources, direct.sources)
+    assert np.array_equal(small.flat, direct.prefix(100).flat)
+    assert small_trace.attempted == 100
+    assert grown_trace.attempted == direct_trace.attempted == 900
+
+
+def test_prefix_independent_of_call_pattern(small_ic_graph):
+    many_steps = RRRStore(small_ic_graph, chunk_sets=32)
+    for theta in (10, 33, 70, 200, 450):
+        stepped, _ = many_steps.ensure(theta)
+    one_step = RRRStore(small_ic_graph, chunk_sets=32)
+    direct, _ = one_step.ensure(450)
+    assert np.array_equal(stepped.flat, direct.flat)
+
+
+def test_ensure_reuses_without_resampling(small_ic_graph):
+    store = RRRStore(small_ic_graph, chunk_sets=64)
+    store.ensure(200)
+    cached = store.num_cached
+    with obs.profiled() as handle:
+        store.ensure(150)
+        store.ensure(cached)  # still within the materialized chunks
+    counters = handle.report().counters
+    assert counters.get("rrr.store.topups", 0) == 0
+    assert counters.get("rrr.sets_sampled", 0) == 0
+    assert counters["rrr.store.reused_sets"] == 150 + cached
+
+
+def test_entropy_separates_streams(small_ic_graph):
+    a, _ = RRRStore(small_ic_graph, entropy=1, chunk_sets=64).ensure(200)
+    b, _ = RRRStore(small_ic_graph, entropy=2, chunk_sets=64).ensure(200)
+    assert not np.array_equal(a.flat, b.flat)
+
+
+def test_elimination_stream_has_no_empty_sets(small_ic_graph):
+    coll, _ = RRRStore(small_ic_graph, eliminate_sources=True,
+                       chunk_sets=64).ensure(300)
+    assert coll.empty_fraction() == 0.0
+
+
+def test_parallel_store_matches_serial_store(small_ic_graph):
+    ser, _ = RRRStore(small_ic_graph, entropy=9, chunk_sets=128).ensure(400)
+    par, _ = RRRStore(small_ic_graph, entropy=9, chunk_sets=128,
+                      n_jobs=2).ensure(400)
+    # n_jobs is part of the stream identity (worker splits reorder the
+    # draws), but the parallel stream must be deterministic
+    par2, _ = RRRStore(small_ic_graph, entropy=9, chunk_sets=128,
+                       n_jobs=2).ensure(400)
+    assert np.array_equal(par.flat, par2.flat)
+    assert par.num_sets == ser.num_sets == 400
+
+
+def test_shared_store_identity(small_ic_graph):
+    a = shared_store(small_ic_graph, model="IC", entropy=5)
+    b = shared_store(small_ic_graph, model="IC", entropy=5)
+    c = shared_store(small_ic_graph, model="IC", entropy=5,
+                     eliminate_sources=True)
+    assert a is b
+    assert a is not c
+    clear_stores()
+    assert shared_store(small_ic_graph, model="IC", entropy=5) is not a
+
+
+def test_run_imm_serves_growing_theta_from_one_store(small_ic_graph):
+    store = RRRStore(small_ic_graph, chunk_sets=256)
+    opts = IMMOptions(bounds=BOUNDS)
+    r1 = run_imm(small_ic_graph, 3, 0.4, options=opts, store=store)
+    r2 = run_imm(small_ic_graph, 6, 0.3, options=opts, store=store)
+    assert r2.theta >= r1.theta
+    # the smaller run's collection is literally a prefix of the larger's
+    assert np.array_equal(r1.collection.flat,
+                          r2.collection.flat[: r1.collection.flat.size])
+    assert len(set(r2.seeds.tolist())) == 6
+
+
+def test_run_imm_rejects_mismatched_store(small_ic_graph):
+    from repro.graphs import assign_ic_weights
+    from repro.graphs.generators import powerlaw_configuration
+
+    store = RRRStore(small_ic_graph, model="IC")
+    other_graph = assign_ic_weights(powerlaw_configuration(100, 400, rng=1))
+    with pytest.raises(ValidationError, match="options request LT"):
+        run_imm(small_ic_graph, 3, 0.4, options=IMMOptions(model="LT"),
+                store=store)
+    with pytest.raises(ValidationError, match="eliminate_sources"):
+        run_imm(small_ic_graph, 3, 0.4,
+                options=IMMOptions(eliminate_sources=True), store=store)
+    with pytest.raises(ValidationError, match="different graph"):
+        run_imm(other_graph, 3, 0.4, options=IMMOptions(), store=store)
