@@ -21,7 +21,10 @@ Layers (see DESIGN.md for the full inventory):
 * :mod:`repro.engines` — eIM, gIM, cuRipples on the simulated device;
 * :mod:`repro.experiments` — drivers for every paper table and figure;
 * :mod:`repro.obs` — span tracing, metrics, and profile exporters
-  (no-op unless installed; see ``run_imm(..., profile=True)``).
+  (no-op unless installed; see ``run_imm(..., profile=True)``);
+* :mod:`repro.resilience` — fault-tolerant sampling: supervised
+  retries, serial degradation, RRR-store checkpointing, and the
+  ``REPRO_FAULTS`` fault-injection harness.
 """
 
 from repro.diffusion import estimate_spread, simulate_ic, simulate_lt
@@ -46,6 +49,7 @@ from repro.imm import (
     run_tim,
     select_seeds,
 )
+from repro.resilience import ResilienceOptions, ResilienceReport
 from repro.rrr import RRRCollection, sample_rrr_ic, sample_rrr_lt
 
 __version__ = "1.0.0"
@@ -62,6 +66,8 @@ __all__ = [
     "InfluenceOracle",
     "PackedArray",
     "RRRCollection",
+    "ResilienceOptions",
+    "ResilienceReport",
     "__version__",
     "assign_ic_weights",
     "assign_lt_weights",

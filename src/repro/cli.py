@@ -24,6 +24,7 @@ from repro.experiments.runner import compare_engines
 from repro.graphs import assign_ic_weights, assign_lt_weights, load_edgelist
 from repro.graphs.datasets import DATASETS, load_dataset
 from repro.imm import BoundsConfig, IMMOptions, run_imm
+from repro.resilience import ResilienceOptions
 
 EXPERIMENTS = {
     "table1": tables.table1_datasets,
@@ -71,6 +72,15 @@ def _workload_parent(
                         help="scale the IMM sample-size bounds (1.0 = exact)")
     parent.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="RRR sampler worker processes (IMMOptions.n_jobs)")
+    parent.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                        help="per-round sampling timeout before hung workers "
+                             "are recycled (default: wait forever)")
+    parent.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="sampling retry budget per job before serial "
+                             "degradation (default 2)")
+    parent.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="persist warm-start RRR chunks under DIR and "
+                             "resume from them on re-run")
     parent.add_argument("--profile", action="store_true",
                         help="print a per-phase timing/metrics table for the run")
     return parent
@@ -133,6 +143,25 @@ def _cmd_seeds(args) -> int:
     assign = assign_ic_weights if args.model == "IC" else assign_lt_weights
     graph = assign(graph)
     print(f"{label}: {graph.n} vertices, {graph.m} edges")
+    resilience = ResilienceOptions(
+        job_timeout=args.timeout,
+        max_retries=args.retries,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    store = None
+    if args.checkpoint_dir is not None:
+        # route sampling through a checkpointed warm-start store so a
+        # killed run resumes from its last completed chunk
+        from repro.rrr.store import shared_store
+
+        store = shared_store(
+            graph,
+            model=args.model,
+            eliminate_sources=not args.no_source_elimination,
+            entropy=args.seed,
+            n_jobs=args.jobs,
+            resilience=resilience,
+        )
     result = run_imm(
         graph, args.k, args.epsilon, rng=args.seed,
         options=IMMOptions(
@@ -141,9 +170,17 @@ def _cmd_seeds(args) -> int:
             bounds=BoundsConfig(theta_scale=args.theta_scale),
             n_jobs=args.jobs,
             profile=args.profile or args.profile_json is not None,
+            resilience=resilience,
         ),
+        store=store,
     )
     print(f"theta = {result.theta} RRR sets; coverage = {result.coverage_fraction:.3f}")
+    recovery = result.trace.resilience
+    if recovery is not None and not recovery.clean:
+        print(f"resilience: {recovery.retries} retries, "
+              f"{recovery.rebuilds} pool rebuilds, "
+              f"{recovery.degraded_jobs} degraded jobs, "
+              f"~{recovery.wall_clock_lost:.2f}s lost")
     print(f"seeds: {sorted(result.seeds.tolist())}")
     print(f"influence estimate: {result.influence_estimate():.1f} "
           f"({100 * result.influence_estimate() / graph.n:.1f}% of network)")
@@ -168,7 +205,9 @@ def _cmd_compare(args) -> int:
         scale=args.scale, seed=args.seed,
         theta_scale=args.theta_scale, sweep_theta_scale=args.theta_scale,
         datasets=(args.dataset,), n_jobs=args.jobs,
-        warm_start=args.warm_start,
+        warm_start=args.warm_start or args.checkpoint_dir is not None,
+        job_timeout=args.timeout, max_retries=args.retries,
+        checkpoint_dir=args.checkpoint_dir,
     )
     handle = obs.install() if args.profile else None
     row = compare_engines(args.dataset, args.k, args.epsilon, args.model, cfg)

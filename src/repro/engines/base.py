@@ -73,6 +73,7 @@ class Engine(ABC):
         pool=None,
         store=None,
         n_jobs: int = 1,
+        resilience=None,
     ) -> EngineResult:
         """Execute the engine and return seeds plus modeled device costs.
 
@@ -100,6 +101,7 @@ class Engine(ABC):
                     eliminate_sources=self.eliminate_sources,
                     bounds=bounds,
                     n_jobs=pool.n_jobs if pool is not None else n_jobs,
+                    resilience=resilience,
                 ),
                 pool=pool,
                 store=store,

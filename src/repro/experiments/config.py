@@ -6,14 +6,18 @@ paper sizes) on a proportionally scaled device, with the IMM bounds
 scaled by ``sweep_theta_scale`` inside the big k/epsilon sweeps so the
 whole suite stays CI-sized.  Environment overrides:
 
-=====================  ============================================
-``REPRO_SCALE``         ``tiny`` (default) / ``small`` / ``paper``
-``REPRO_REPEATS``       averaging repeats per cell (default 1)
-``REPRO_DATASETS``      comma-separated subset of table codes
-``REPRO_THETA_SCALE``   override for both theta scales
-``REPRO_JOBS``          sampler worker processes (default 1)
-``REPRO_WARM_START``    ``1`` enables warm-start RRR reuse in sweeps
-=====================  ============================================
+========================  ============================================
+``REPRO_SCALE``            ``tiny`` (default) / ``small`` / ``paper``
+``REPRO_REPEATS``          averaging repeats per cell (default 1)
+``REPRO_DATASETS``         comma-separated subset of table codes
+``REPRO_THETA_SCALE``      override for both theta scales
+``REPRO_JOBS``             sampler worker processes (default 1)
+``REPRO_WARM_START``       ``1`` enables warm-start RRR reuse in sweeps
+``REPRO_TIMEOUT``          per-round sampling timeout in seconds
+``REPRO_RETRIES``          sampling retry budget per job (default 2)
+``REPRO_CHECKPOINT_DIR``   base dir for warm-start RRR checkpoints
+``REPRO_FAULTS``           fault-injection plan (repro.resilience.faults)
+========================  ============================================
 """
 
 from __future__ import annotations
@@ -72,6 +76,15 @@ class ExperimentConfig:
     #: store: each (k, epsilon) cell tops an existing sample up to its
     #: theta instead of resampling (sound by the IMM martingale analysis)
     warm_start: bool = False
+    #: per-round sampling timeout in seconds (None = wait forever); see
+    #: ResilienceOptions.job_timeout
+    job_timeout: Optional[float] = None
+    #: sampling retry budget per job before serial degradation
+    max_retries: int = 2
+    #: base directory for warm-start RRR checkpoints (None = no
+    #: persistence); each stream nests a key-digest subdirectory, so a
+    #: killed sweep re-run with the same dir resumes from disk
+    checkpoint_dir: Optional[str] = None
 
     @classmethod
     def from_env(cls, **overrides) -> "ExperimentConfig":
@@ -95,6 +108,12 @@ class ExperimentConfig:
             kwargs["warm_start"] = os.environ["REPRO_WARM_START"].strip().lower() in (
                 "1", "true", "yes", "on",
             )
+        if "REPRO_TIMEOUT" in os.environ:
+            kwargs["job_timeout"] = float(os.environ["REPRO_TIMEOUT"])
+        if "REPRO_RETRIES" in os.environ:
+            kwargs["max_retries"] = int(os.environ["REPRO_RETRIES"])
+        if "REPRO_CHECKPOINT_DIR" in os.environ:
+            kwargs["checkpoint_dir"] = os.environ["REPRO_CHECKPOINT_DIR"]
         kwargs.update(overrides)
         return cls(**kwargs)
 
@@ -107,6 +126,7 @@ class ExperimentConfig:
             raise ValidationError("repeats must be >= 1")
         if self.n_jobs < 1:
             raise ValidationError("n_jobs must be >= 1")
+        self.resilience()  # validates job_timeout / max_retries eagerly
 
     # -- derived pieces --------------------------------------------------------
     def device(self, pressure: bool = False) -> DeviceSpec:
@@ -124,6 +144,17 @@ class ExperimentConfig:
         """IMM bound configuration (sweep tables use the lighter scaling)."""
         return BoundsConfig(
             theta_scale=self.sweep_theta_scale if sweep else self.theta_scale
+        )
+
+    def resilience(self):
+        """The :class:`~repro.resilience.options.ResilienceOptions` this
+        config's sampling runs under (timeout, retries, checkpointing)."""
+        from repro.resilience.options import ResilienceOptions
+
+        return ResilienceOptions(
+            job_timeout=self.job_timeout,
+            max_retries=self.max_retries,
+            checkpoint_dir=self.checkpoint_dir,
         )
 
     def sampler_pool(self, graph: DirectedGraph):

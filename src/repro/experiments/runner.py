@@ -105,7 +105,9 @@ def _warm_stores(graph, model, rep, config, pool):
 
     Entropy is a pure function of (seed, repeat, elimination flag); the
     graph/model identity lives in the store key itself, so every cell of
-    a sweep — any k, any epsilon — lands on the same two streams.
+    a sweep — any k, any epsilon — lands on the same two streams.  With
+    ``config.checkpoint_dir`` set, both streams persist their chunks to
+    disk, so a killed sweep resumes where it left off.
     """
     from repro.rrr.store import shared_store
 
@@ -117,9 +119,37 @@ def _warm_stores(graph, model, rep, config, pool):
             entropy=(config.seed, rep, int(eliminate)),
             n_jobs=config.n_jobs,
             pool=pool,
+            resilience=config.resilience(),
         )
 
     return make(True), make(False)
+
+
+def _host_oom_result(
+    engine: str, model: str, k: int, epsilon: float, exc: BaseException
+) -> EngineResult:
+    """An ``oom=True`` cell for a *host-side* ``MemoryError``.
+
+    The paper's tables report OOM cells whenever an engine's run dies of
+    memory exhaustion; a ``MemoryError`` raised during host sampling is
+    the same failure one level down, so it renders the same
+    ``OOM/<seconds>`` cell instead of crashing the whole sweep.
+    """
+    return EngineResult(
+        engine=engine,
+        model=model.upper(),
+        k=k,
+        epsilon=epsilon,
+        seeds=None,
+        oom=True,
+        oom_detail=f"host OOM during sampling: {exc}",
+        total_cycles=float("nan"),
+        seconds=float("nan"),
+        peak_device_bytes=0,
+        rrr_store_bytes=0,
+        theta=0,
+        coverage=float("nan"),
+    )
 
 
 def compare_engines(
@@ -149,23 +179,40 @@ def compare_engines(
     eim_runs, gim_runs, cur_runs = [], [], []
     streams = spawn_generators(config.seed * 1_000_003 + k_eff * 13 + int(epsilon * 1e6),
                                config.repeats * 2)
+    resilience = config.resilience()
     for rep in range(config.repeats):
         rng_eim, rng_vanilla = streams[2 * rep], streams[2 * rep + 1]
         if config.warm_start:
             eim_store, vanilla_store = _warm_stores(graph, model, rep, config, pool)
         else:
             eim_store = vanilla_store = None
-        eim_runs.append(
-            eim_engine.run(graph, k_eff, epsilon, model, rng=rng_eim,
-                           bounds=bounds, device_spec=device,
-                           pool=pool, store=eim_store, n_jobs=config.n_jobs)
-        )
-        vanilla = run_imm(
-            graph, k_eff, epsilon, rng=rng_vanilla,
-            options=IMMOptions(model=model, eliminate_sources=False,
-                               bounds=bounds, n_jobs=config.n_jobs),
-            pool=pool, store=vanilla_store,
-        )
+        # a host-side MemoryError during sampling is the same failure as
+        # DeviceOOMError one level up: render the paper's OOM cell, keep
+        # the sweep alive
+        try:
+            eim_runs.append(
+                eim_engine.run(graph, k_eff, epsilon, model, rng=rng_eim,
+                               bounds=bounds, device_spec=device,
+                               pool=pool, store=eim_store, n_jobs=config.n_jobs,
+                               resilience=resilience)
+            )
+        except MemoryError as exc:
+            eim_runs.append(_host_oom_result("eim", model, k_eff, epsilon, exc))
+        try:
+            vanilla = run_imm(
+                graph, k_eff, epsilon, rng=rng_vanilla,
+                options=IMMOptions(model=model, eliminate_sources=False,
+                                   bounds=bounds, n_jobs=config.n_jobs,
+                                   resilience=resilience),
+                pool=pool, store=vanilla_store,
+            )
+        except MemoryError as exc:
+            gim_runs.append(_host_oom_result("gim", model, k_eff, epsilon, exc))
+            if cur_engine is not None:
+                cur_runs.append(
+                    _host_oom_result("curipples", model, k_eff, epsilon, exc)
+                )
+            continue
         gim_runs.append(
             gim_engine.run(graph, k_eff, epsilon, model, bounds=bounds,
                            device_spec=device, imm_result=vanilla)

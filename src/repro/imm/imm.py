@@ -230,6 +230,7 @@ def _run_imm_core(
                 model, count, rng=gen,
                 eliminate_sources=eliminate_sources,
                 batch_size=options.batch_size,
+                resilience=options.resilience,
             )
     else:
         sampler = get_sampler(model)

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields, replace
 
 from repro.imm.bounds import BoundsConfig
+from repro.resilience.options import ResilienceOptions
 from repro.utils.errors import ValidationError
 
 _MODELS = ("IC", "LT")
@@ -48,6 +49,10 @@ class IMMOptions:
     profile:
         Install live :mod:`repro.obs` collectors for the run and attach
         the report as ``IMMResult.profile``.
+    resilience:
+        :class:`~repro.resilience.options.ResilienceOptions` governing
+        the supervision of parallel sampling (timeouts, retries, serial
+        degradation); ``None`` uses the library default policy.
     """
 
     model: str = "IC"
@@ -57,6 +62,7 @@ class IMMOptions:
     batch_size: int = 16384
     n_jobs: int = 1
     profile: bool = False
+    resilience: ResilienceOptions | None = None
 
     def __post_init__(self):
         object.__setattr__(self, "model", str(self.model).upper())
@@ -73,6 +79,12 @@ class IMMOptions:
             raise ValidationError("batch_size must be >= 1")
         if self.n_jobs < 1:
             raise ValidationError("n_jobs must be >= 1")
+        if self.resilience is not None and not isinstance(
+            self.resilience, ResilienceOptions
+        ):
+            raise ValidationError(
+                "resilience must be a ResilienceOptions instance (or None)"
+            )
 
     def replace(self, **changes) -> "IMMOptions":
         """A copy with ``changes`` applied (frozen-dataclass convenience)."""

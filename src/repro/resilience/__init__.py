@@ -1,0 +1,38 @@
+"""Fault tolerance for the sampling pipeline.
+
+Long sweeps live in the resident sampling pipeline (``SamplerPool`` +
+``RRRStore``), which is exactly where a single worker crash, hung job,
+or host-memory spike used to kill the whole run.  This package gives
+the pipeline a production posture:
+
+* :class:`ResilienceOptions` — frozen supervision knobs (per-round
+  timeout, bounded deterministic retries, serial fallback, checkpoint
+  directory), a field of :class:`~repro.imm.options.IMMOptions`;
+* :class:`ResilienceReport` — what recovery actually happened, attached
+  to every supervised :class:`~repro.rrr.trace.SampleTrace` and
+  exported through :mod:`repro.obs`;
+* :mod:`repro.resilience.faults` — the deterministic fault-injection
+  harness (env ``REPRO_FAULTS``) CI uses to exercise every recovery
+  path;
+* :mod:`repro.resilience.checkpoint` — chunk-aligned ``RRRStore``
+  persistence so a killed sweep resumes from disk (imported lazily by
+  :mod:`repro.rrr.store`; not re-exported here to keep import order
+  acyclic).
+
+Because every fan-out job carries its own spawned ``SeedSequence``, a
+retried (or serially degraded) job reproduces its exact sets — recovery
+never changes results, only wall-clock.
+"""
+
+from repro.resilience.faults import FaultClause, FaultPlan
+from repro.resilience.options import DEFAULT_RESILIENCE, ResilienceOptions
+from repro.resilience.report import ResilienceReport, merge_reports
+
+__all__ = [
+    "DEFAULT_RESILIENCE",
+    "FaultClause",
+    "FaultPlan",
+    "ResilienceOptions",
+    "ResilienceReport",
+    "merge_reports",
+]

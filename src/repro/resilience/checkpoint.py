@@ -1,0 +1,178 @@
+"""Chunk-aligned on-disk checkpoints for the warm-start RRR store.
+
+A killed sweep resumes from its last *completed* chunk: every chunk a
+:class:`~repro.rrr.store.RRRStore` samples is persisted as one ``.npz``
+(collection arrays + the per-set trace), under a directory keyed by a
+digest of the store's ``key()`` tuple.  A ``manifest.json`` pins the
+full key; loading verifies it and raises
+:class:`~repro.utils.errors.CheckpointError` on any mismatch, so a
+checkpoint can never silently feed a different stream.
+
+Writes are atomic (tmp + ``os.replace``), so a kill mid-write leaves at
+worst a stale tmp file; loading stops at the first missing or
+unreadable chunk and the store simply resamples from there — the chunks
+are pure functions of ``(key, chunk index)``, so a partial resume is
+still bit-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.rrr.collection import RRRCollection
+from repro.rrr.trace import SampleTrace
+from repro.utils.errors import CheckpointError
+
+FORMAT = "repro.rrr.checkpoint.v1"
+MANIFEST = "manifest.json"
+
+
+def canonical_key(key: tuple) -> list:
+    """The store key as a JSON-stable list (tuples become lists)."""
+    return [list(part) if isinstance(part, tuple) else part for part in key]
+
+
+def key_digest(key: tuple) -> str:
+    """Short stable digest naming the key's checkpoint subdirectory."""
+    payload = json.dumps(canonical_key(key), sort_keys=False)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def store_dir(base, key: tuple) -> Path:
+    """Where ``key``'s chunks live under the user-facing ``base`` dir."""
+    return Path(base) / f"rrr-{key_digest(key)}"
+
+
+def _chunk_path(directory: Path, j: int) -> Path:
+    return directory / f"chunk_{j:05d}.npz"
+
+
+def write_manifest(directory: Path, key: tuple) -> None:
+    """Create the directory and pin ``key`` in its manifest (idempotent)."""
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = directory / MANIFEST
+    if manifest.exists():
+        verify_manifest(directory, key)
+        return
+    payload = {"format": FORMAT, "key": canonical_key(key)}
+    tmp = manifest.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(payload, indent=2))
+    os.replace(tmp, manifest)
+
+
+def verify_manifest(directory: Path, key: tuple) -> None:
+    """Raise :class:`CheckpointError` unless the manifest matches ``key``."""
+    manifest = directory / MANIFEST
+    try:
+        payload = json.loads(manifest.read_text())
+    except (OSError, ValueError) as exc:
+        raise CheckpointError(
+            f"unreadable checkpoint manifest {manifest}: {exc}"
+        ) from exc
+    if payload.get("format") != FORMAT:
+        raise CheckpointError(
+            f"{manifest} has format {payload.get('format')!r}, expected {FORMAT!r}"
+        )
+    if payload.get("key") != canonical_key(key):
+        raise CheckpointError(
+            f"checkpoint {directory} was written for a different stream: "
+            f"stored key {payload.get('key')!r} != requested {canonical_key(key)!r}"
+        )
+
+
+def save_chunk(
+    directory: Path, j: int, collection: RRRCollection, trace: SampleTrace
+) -> None:
+    """Persist chunk ``j`` (arrays + trace) atomically."""
+    payload = {
+        "format": np.asarray(FORMAT),
+        "flat": collection.flat,
+        "offsets": collection.offsets,
+        "n": np.asarray(collection.n),
+        "trace_sizes": trace.sizes,
+        "trace_rounds": trace.rounds,
+        "trace_edges": trace.edges_examined,
+        "trace_kept": trace.kept_mask,
+        "trace_raw_singletons": np.asarray(trace.raw_singletons),
+        "trace_sources": trace.sources,
+    }
+    if collection.sources is not None:
+        payload["sources"] = collection.sources
+    path = _chunk_path(directory, j)
+    # the tmp name must keep the .npz suffix: np.savez appends one to
+    # anything else, which would break the atomic rename
+    tmp = path.with_suffix(".tmp.npz")
+    np.savez_compressed(tmp, **payload)
+    os.replace(tmp, path)
+    obs.counter_add("rrr.store.checkpoint_saved_chunks", 1)
+
+
+def _load_chunk(path: Path, n: int) -> tuple[RRRCollection, SampleTrace]:
+    with np.load(path, allow_pickle=False) as data:
+        if str(data["format"]) != FORMAT or int(data["n"]) != n:
+            raise CheckpointError(f"{path} is not a chunk of this store")
+        collection = RRRCollection(
+            data["flat"],
+            data["offsets"],
+            n,
+            sources=data["sources"] if "sources" in data.files else None,
+            check=False,
+        )
+        trace = SampleTrace(
+            sizes=data["trace_sizes"],
+            rounds=data["trace_rounds"],
+            edges_examined=data["trace_edges"],
+            kept_mask=data["trace_kept"],
+            raw_singletons=int(data["trace_raw_singletons"]),
+            sources=data["trace_sources"],
+        )
+    return collection, trace
+
+
+def load_chunks(
+    directory: Path, key: tuple, n: int, expected_size
+) -> list[tuple[RRRCollection, SampleTrace]]:
+    """Load the completed chunk prefix of ``key``'s checkpoint.
+
+    ``expected_size`` maps a chunk index to the kept-set count it must
+    hold; loading stops at the first missing, unreadable, or wrong-sized
+    chunk (a kill mid-write), and the caller resamples from there.  A
+    manifest that names a *different* key raises
+    :class:`CheckpointError` instead — that is operator error, not an
+    interrupted write.
+    """
+    if not directory.exists():
+        return []
+    verify_manifest(directory, key)
+    chunks: list[tuple[RRRCollection, SampleTrace]] = []
+    j = 0
+    while True:
+        path = _chunk_path(directory, j)
+        if not path.exists():
+            break
+        try:
+            collection, trace = _load_chunk(path, n)
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile, CheckpointError):
+            # BadZipFile is what a kill mid-write actually leaves behind
+            # (np.load on a torn archive); it subclasses Exception directly
+            obs.counter_add("rrr.store.checkpoint_bad_chunks", 1)
+            break
+        if collection.num_sets != expected_size(j):
+            obs.counter_add("rrr.store.checkpoint_bad_chunks", 1)
+            break
+        chunks.append((collection, trace))
+        j += 1
+    if chunks:
+        obs.counter_add("rrr.store.checkpoint_loaded_chunks", len(chunks))
+        obs.counter_add(
+            "rrr.store.checkpoint_loaded_sets",
+            sum(c.num_sets for c, _ in chunks),
+        )
+    return chunks

@@ -1,0 +1,184 @@
+"""Deterministic fault injection for the sampling pipeline.
+
+Every recovery path in :class:`~repro.rrr.parallel.SamplerPool` is
+exercised in CI rather than trusted: a :class:`FaultPlan` makes worker
+jobs crash, hang past the supervision timeout, or raise ``MemoryError``
+on a schedule that is a pure function of ``(job index, attempt)`` — so a
+faulted run is as reproducible as a clean one.
+
+Grammar (env var ``REPRO_FAULTS``)::
+
+    plan     := clause (";" clause)*
+    clause   := kind ["(" seconds ")"] "@" jobs ["#" attempts]
+    kind     := "crash" | "hang" | "memerr" | "error"
+    jobs     := "*" | int ("," int)*
+    attempts := "*" | int ("," int)*          (omitted: attempt 0 only)
+
+Examples::
+
+    crash@1             job 1's worker dies (os._exit) on its first
+                        attempt; the retry succeeds
+    hang(2.0)@0         job 0 sleeps 2 s on attempt 0 (trips a
+                        sub-2 s job_timeout), then completes
+    memerr@*#*          every job raises MemoryError on every attempt
+                        (exhausts the retry budget -> serial fallback)
+    crash@0;memerr@2#1  plans compose; first matching clause fires
+
+The plan string is resolved by the *supervisor* (env or explicit
+argument) and shipped to workers inside each job tuple, so it works
+under any multiprocessing start method and cannot leak into the
+in-process serial paths — degraded jobs always run clean, which is what
+makes serial fallback a guaranteed exit.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.utils.errors import ValidationError
+
+#: environment variable holding the process-wide fault plan
+ENV_VAR = "REPRO_FAULTS"
+
+_KINDS = ("crash", "hang", "memerr", "error")
+_DEFAULT_HANG_SECONDS = 30.0
+
+
+class InjectedFaultError(RuntimeError):
+    """The generic raised-in-worker fault (``error`` kind)."""
+
+
+def _parse_int_set(text: str, what: str) -> "frozenset[int] | None":
+    """``"*"`` -> None (match everything); else a frozenset of ints."""
+    text = text.strip()
+    if text == "*":
+        return None
+    try:
+        values = frozenset(int(part) for part in text.split(",") if part.strip())
+    except ValueError as exc:
+        raise ValidationError(f"bad {what} list {text!r} in fault clause") from exc
+    if not values or any(v < 0 for v in values):
+        raise ValidationError(f"{what} list {text!r} must be non-negative ints or '*'")
+    return values
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One ``kind@jobs#attempts`` injection rule."""
+
+    kind: str
+    seconds: float
+    jobs: "frozenset[int] | None"  # None matches every job
+    attempts: "frozenset[int] | None"  # None matches every attempt
+
+    def matches(self, job: int, attempt: int) -> bool:
+        return (self.jobs is None or job in self.jobs) and (
+            self.attempts is None or attempt in self.attempts
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed ``REPRO_FAULTS`` schedule."""
+
+    clauses: tuple[FaultClause, ...]
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        clauses = []
+        for raw in spec.split(";"):
+            raw = raw.strip()
+            if not raw:
+                continue
+            if "@" not in raw:
+                raise ValidationError(
+                    f"fault clause {raw!r} needs '@jobs' (e.g. 'crash@1')"
+                )
+            head, _, targets = raw.partition("@")
+            head = head.strip()
+            seconds = _DEFAULT_HANG_SECONDS
+            if "(" in head:
+                if not head.endswith(")"):
+                    raise ValidationError(f"unbalanced '(' in fault clause {raw!r}")
+                head, _, arg = head[:-1].partition("(")
+                try:
+                    seconds = float(arg)
+                except ValueError as exc:
+                    raise ValidationError(
+                        f"bad duration {arg!r} in fault clause {raw!r}"
+                    ) from exc
+                if seconds < 0:
+                    raise ValidationError("fault duration must be >= 0")
+            kind = head.strip().lower()
+            if kind not in _KINDS:
+                raise ValidationError(
+                    f"unknown fault kind {kind!r}; choose one of {_KINDS}"
+                )
+            jobs_text, _, attempts_text = targets.partition("#")
+            clauses.append(
+                FaultClause(
+                    kind=kind,
+                    seconds=seconds,
+                    jobs=_parse_int_set(jobs_text, "job"),
+                    attempts=(
+                        _parse_int_set(attempts_text, "attempt")
+                        if attempts_text
+                        else frozenset((0,))
+                    ),
+                )
+            )
+        if not clauses:
+            raise ValidationError(f"empty fault plan {spec!r}")
+        return cls(tuple(clauses))
+
+    def fire(self, job: int, attempt: int) -> None:
+        """Execute the first clause matching ``(job, attempt)``, if any.
+
+        Runs *inside a worker process*.  ``crash`` hard-exits the
+        process (the supervisor sees ``BrokenProcessPool``); ``hang``
+        sleeps ``seconds`` then lets the job continue (the supervisor's
+        timeout fires first when configured); ``memerr`` / ``error``
+        raise.
+        """
+        for clause in self.clauses:
+            if not clause.matches(job, attempt):
+                continue
+            if clause.kind == "crash":
+                os._exit(3)
+            if clause.kind == "hang":
+                time.sleep(clause.seconds)
+                return
+            if clause.kind == "memerr":
+                raise MemoryError(
+                    f"injected MemoryError (job {job}, attempt {attempt})"
+                )
+            raise InjectedFaultError(
+                f"injected fault (job {job}, attempt {attempt})"
+            )
+
+
+@lru_cache(maxsize=32)
+def _cached_parse(spec: str) -> FaultPlan:
+    return FaultPlan.parse(spec)
+
+
+def active_spec() -> "str | None":
+    """The process's fault-plan string (``REPRO_FAULTS``), if any.
+
+    Parsed eagerly so a malformed plan fails at the supervisor, not
+    inside a worker.
+    """
+    spec = os.environ.get(ENV_VAR, "").strip()
+    if not spec:
+        return None
+    _cached_parse(spec)  # validate now
+    return spec
+
+
+def fire(spec: "str | None", job: int, attempt: int) -> None:
+    """Worker-side entry point: apply ``spec`` to ``(job, attempt)``."""
+    if spec:
+        _cached_parse(spec).fire(job, attempt)

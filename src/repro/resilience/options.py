@@ -1,0 +1,70 @@
+"""Frozen configuration for the fault-tolerant sampling pipeline.
+
+:class:`ResilienceOptions` rides the same frozen-options pattern as
+:class:`~repro.imm.options.IMMOptions` (it is in fact a field of it):
+hashable, eagerly validated, safely shareable across every run of a
+sweep.  The defaults give every pool a small retry budget and serial
+degradation, so a stray worker crash never kills a run even when the
+caller configured nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class ResilienceOptions:
+    """Supervision knobs for one sampling pipeline.
+
+    Attributes
+    ----------
+    job_timeout:
+        Seconds one fan-out round may run before unfinished jobs are
+        declared hung, the executor is recycled, and the jobs retried.
+        ``None`` (default) waits forever.
+    max_retries:
+        Retries per job beyond its first attempt.  A job that still has
+        no result afterwards is *degraded*: re-run serially in-process
+        (bit-identical, each job carries its own ``SeedSequence``) when
+        ``serial_fallback`` is on, or raised as
+        :class:`~repro.utils.errors.WorkerCrashError` /
+        :class:`~repro.utils.errors.SamplingTimeoutError` otherwise.
+    backoff_base:
+        Base of the deterministic exponential backoff slept between
+        retry rounds: ``backoff_base * 2**round`` seconds, no jitter, so
+        retried runs stay reproducible second-for-second.
+    serial_fallback:
+        Degrade to in-process sampling once the retry budget is spent
+        (default) instead of raising.
+    checkpoint_dir:
+        Base directory for chunk-aligned
+        :class:`~repro.rrr.store.RRRStore` checkpoints; ``None``
+        disables persistence.  Each store nests its own subdirectory
+        keyed by a digest of its ``key()`` tuple.
+    """
+
+    job_timeout: float | None = None
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    serial_fallback: bool = True
+    checkpoint_dir: str | None = None
+
+    def __post_init__(self):
+        if self.job_timeout is not None and not self.job_timeout > 0:
+            raise ValidationError("job_timeout must be positive (or None)")
+        if self.max_retries < 0:
+            raise ValidationError("max_retries must be >= 0")
+        if self.backoff_base < 0:
+            raise ValidationError("backoff_base must be >= 0")
+
+    def backoff(self, retry_round: int) -> float:
+        """Deterministic sleep before retry round ``retry_round`` (0-based)."""
+        return self.backoff_base * (2.0**retry_round)
+
+
+#: the library-wide default supervision policy (used when a caller passes
+#: ``resilience=None`` anywhere in the pipeline)
+DEFAULT_RESILIENCE = ResilienceOptions()

@@ -1,0 +1,116 @@
+"""What the supervision loop did to keep a sampling run alive.
+
+A :class:`ResilienceReport` travels with the
+:class:`~repro.rrr.trace.SampleTrace` of every supervised sampling call
+(merging as traces merge), so ``IMMResult.trace.resilience`` answers
+"how rough was that run" — retries, executor rebuilds, degraded jobs,
+and an estimate of the wall-clock the faults cost.  :meth:`publish`
+mirrors the totals into :mod:`repro.obs` counters for the profile
+exporters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro import obs
+
+
+@dataclass
+class ResilienceReport:
+    """Tally of every recovery action one supervised sampling run took.
+
+    Attributes
+    ----------
+    retries:
+        Job re-submissions to the worker pool.
+    rebuilds:
+        Times the executor was torn down and rebuilt (worker crash or
+        hung-job recycle).
+    degraded_jobs:
+        Jobs that exhausted their retry budget and ran serially
+        in-process.
+    timeouts / crashes / failures:
+        Job losses by cause: past the round deadline, worker death
+        (``BrokenProcessPool``), or an exception raised inside the
+        worker (e.g. ``MemoryError``).
+    wall_clock_lost:
+        Seconds spent in rounds that ended with at least one lost job,
+        plus backoff sleeps — an upper-bound estimate of the time the
+        faults cost.
+    events:
+        One dict per recovery action, in order, for forensic dumps.
+    """
+
+    retries: int = 0
+    rebuilds: int = 0
+    degraded_jobs: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    failures: int = 0
+    wall_clock_lost: float = 0.0
+    events: list[dict] = field(default_factory=list)
+
+    @property
+    def total_faults(self) -> int:
+        return self.timeouts + self.crashes + self.failures
+
+    @property
+    def clean(self) -> bool:
+        """True when the run needed no recovery at all."""
+        return self.total_faults == 0 and self.degraded_jobs == 0
+
+    def record(self, kind: str, job: int, attempt: int, detail: str = "") -> None:
+        """Log one job loss (``kind`` in timeout/crash/failure)."""
+        if kind == "timeout":
+            self.timeouts += 1
+        elif kind == "crash":
+            self.crashes += 1
+        else:
+            self.failures += 1
+        self.events.append(
+            {"kind": kind, "job": int(job), "attempt": int(attempt), "detail": detail}
+        )
+
+    def merged_with(self, other: "ResilienceReport") -> "ResilienceReport":
+        """Combine two reports (successive sampling phases of one run)."""
+        return ResilienceReport(
+            retries=self.retries + other.retries,
+            rebuilds=self.rebuilds + other.rebuilds,
+            degraded_jobs=self.degraded_jobs + other.degraded_jobs,
+            timeouts=self.timeouts + other.timeouts,
+            crashes=self.crashes + other.crashes,
+            failures=self.failures + other.failures,
+            wall_clock_lost=self.wall_clock_lost + other.wall_clock_lost,
+            events=self.events + other.events,
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (CI artifacts, forensic dumps)."""
+        return asdict(self)
+
+    def publish(self) -> None:
+        """Mirror non-zero totals into the installed obs registry."""
+        for name, value in (
+            ("resilience.retries", self.retries),
+            ("resilience.rebuilds", self.rebuilds),
+            ("resilience.degraded_jobs", self.degraded_jobs),
+            ("resilience.timeouts", self.timeouts),
+            ("resilience.crashes", self.crashes),
+            ("resilience.failures", self.failures),
+        ):
+            if value:
+                obs.counter_add(name, value)
+        if self.wall_clock_lost:
+            obs.observe("resilience.wall_clock_lost", self.wall_clock_lost)
+
+
+def merge_reports(
+    a: "ResilienceReport | None", b: "ResilienceReport | None"
+) -> "ResilienceReport | None":
+    """Merge two optional reports (identity-preserving for ``None``)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a.merged_with(b)

@@ -24,20 +24,41 @@ parent-side.  Re-seeding ``PCG64`` from a generator's raw 128-bit
 state would instead re-hash that state through SeedSequence and drop
 the stream increment — a silent loss of the independence guarantee
 this module promises.
+
+Supervision (:mod:`repro.resilience`): every fan-out runs under a
+supervision loop — per-round timeouts, bounded deterministic retries,
+``BrokenProcessPool`` recovery that rebuilds the executor and re-runs
+*only* the lost jobs, and serial in-process degradation once the retry
+budget is spent.  Because each job's ``SeedSequence`` pins its stream,
+a retried or degraded job reproduces its exact sets, so recovery never
+changes the merged result — only wall-clock.  The
+:class:`~repro.resilience.report.ResilienceReport` of what happened
+rides on the returned trace.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import atexit
+import time
+from concurrent.futures import ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Optional
 
 import numpy as np
 
 from repro import obs
 from repro.graphs.csc import DirectedGraph
+from repro.resilience.faults import active_spec as active_fault_spec
+from repro.resilience.faults import fire as fire_fault
+from repro.resilience.options import DEFAULT_RESILIENCE, ResilienceOptions
+from repro.resilience.report import ResilienceReport
 from repro.rrr.collection import RRRCollection
 from repro.rrr.trace import SampleTrace, empty_trace
-from repro.utils.errors import ValidationError
+from repro.utils.errors import (
+    SamplingTimeoutError,
+    ValidationError,
+    WorkerCrashError,
+)
 from repro.utils.rng import spawn_seed_sequences
 
 _WORKER_GRAPH: Optional[DirectedGraph] = None
@@ -49,7 +70,20 @@ def _init_worker(indptr, indices, weights):
 
 
 def _worker_sample(args):
-    model, num_sets, seed_seq, eliminate_sources, batch_size = args
+    (
+        model,
+        num_sets,
+        seed_seq,
+        eliminate_sources,
+        batch_size,
+        job_index,
+        attempt,
+        fault_spec,
+    ) = args
+    # injected faults (CI drills) fire before any sampling work; the
+    # schedule is a pure function of (job_index, attempt), so retries
+    # of a once-faulted job run clean and reproduce its exact sets
+    fire_fault(fault_spec, job_index, attempt)
     from repro.rrr import get_sampler
 
     sampler = get_sampler(model)
@@ -84,6 +118,9 @@ class SamplerPool:
     order is job order, never completion order.  Small requests
     (``num_sets < 2 * n_jobs``) fall through to the in-process sampler
     using the caller's ``rng`` directly, matching the serial path.
+    Supervision (timeouts, retries, executor rebuilds, serial
+    degradation) preserves the contract: every recovery path re-runs a
+    job from its own pinned ``SeedSequence``.
     """
 
     def __init__(self, graph: DirectedGraph, n_jobs: int):
@@ -94,12 +131,18 @@ class SamplerPool:
         self.graph = graph
         self.n_jobs = int(n_jobs)
         self._executor: Optional[ProcessPoolExecutor] = None
+        self._closed = False
 
     # -- lifecycle -----------------------------------------------------------
     @property
     def started(self) -> bool:
         """Whether the worker processes exist yet."""
         return self._executor is not None
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` ended this pool's life (terminal)."""
+        return self._closed
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
@@ -118,11 +161,43 @@ class SamplerPool:
             obs.counter_add("rrr.parallel.pool_reused", 1)
         return self._executor
 
+    def _abandon_executor(self, terminate: bool) -> None:
+        """Drop the executor (broken, or holding hung workers).
+
+        ``terminate=True`` force-kills the worker processes — the only
+        way to reclaim a worker stuck past ``job_timeout``, since
+        ``concurrent.futures`` cannot cancel a running task.
+        """
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        processes = list(getattr(executor, "_processes", {}).values() or [])
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # already-broken executors can refuse shutdown
+            pass
+        if terminate:
+            for proc in processes:
+                try:
+                    proc.terminate()
+                except Exception:
+                    pass
+        obs.counter_add("rrr.parallel.pool_rebuilt", 1)
+
     def close(self) -> None:
-        """Shut the worker processes down (idempotent)."""
+        """Shut the worker processes down; terminal and idempotent.
+
+        After ``close`` the pool refuses to sample; registry lookups
+        (:func:`shared_pool`) evict closed pools and hand out fresh
+        ones, so stale registry state can never serve a dead executor.
+        """
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
+            try:
+                self._executor.shutdown(wait=True)
+            except Exception:  # a broken pool is already as shut as it gets
+                pass
             self._executor = None
+        self._closed = True
 
     def __enter__(self) -> "SamplerPool":
         return self
@@ -138,12 +213,18 @@ class SamplerPool:
         rng=None,
         eliminate_sources: bool = False,
         batch_size: int = 16384,
+        resilience: Optional[ResilienceOptions] = None,
     ) -> tuple[RRRCollection, SampleTrace]:
         """Sample ``num_sets`` RRR sets across the pool's workers.
 
         Semantically identical to the single-process samplers (same
-        distribution; deterministic for fixed ``rng`` and ``n_jobs``).
+        distribution; deterministic for fixed ``rng`` and ``n_jobs``),
+        under the supervision policy of ``resilience`` (defaults to
+        :data:`~repro.resilience.options.DEFAULT_RESILIENCE`: no
+        timeout, 2 retries, serial fallback).
         """
+        if self._closed:
+            raise ValidationError("SamplerPool is closed")
         if num_sets < 0:
             raise ValidationError("num_sets must be non-negative")
         if self.n_jobs == 1 or num_sets < 2 * self.n_jobs:
@@ -157,6 +238,7 @@ class SamplerPool:
                 batch_size=batch_size,
             )
 
+        res = resilience if resilience is not None else DEFAULT_RESILIENCE
         children = spawn_seed_sequences(rng, self.n_jobs)
         share = num_sets // self.n_jobs
         counts = [share] * self.n_jobs
@@ -166,9 +248,9 @@ class SamplerPool:
             for i in range(self.n_jobs)
         ]
         obs.counter_add("rrr.parallel.jobs", self.n_jobs)
-        executor = self._ensure_executor()
+        report = ResilienceReport()
         with obs.span("rrr.parallel.sample"):
-            results = list(executor.map(_worker_sample, jobs))
+            results = self._supervise(jobs, res, report)
 
         with obs.span("rrr.parallel.merge"):
             parts = [
@@ -179,13 +261,162 @@ class SamplerPool:
             trace = empty_trace()
             for _, _, _, t in results:
                 trace = trace.merged_with(t)
+            trace.resilience = report
+        report.publish()
         return collection, trace
+
+    # -- supervision ---------------------------------------------------------
+    def _supervise(
+        self,
+        jobs: list[tuple],
+        res: ResilienceOptions,
+        report: ResilienceReport,
+    ) -> list[tuple]:
+        """Run ``jobs`` to completion under the supervision policy.
+
+        Round-based loop: submit every unfinished job, wait (bounded by
+        ``job_timeout``), harvest results, classify losses, recycle the
+        executor when workers died or hung, back off deterministically,
+        and retry only the lost jobs.  Jobs past their retry budget run
+        serially in-process (or raise, with fallback disabled).  Returns
+        per-job results in job order.
+        """
+        n = len(jobs)
+        results: list = [None] * n
+        attempt = [0] * n
+        last_loss = [""] * n  # "timeout" | "crash" | "failure"
+        pending = list(range(n))
+        fault_spec = active_fault_spec()
+        retry_round = 0
+        futures: dict[int, object] = {}
+        try:
+            while pending:
+                exhausted = [i for i in pending if attempt[i] > res.max_retries]
+                if exhausted:
+                    pending = [i for i in pending if attempt[i] <= res.max_retries]
+                    if not res.serial_fallback:
+                        self._raise_unrecoverable(exhausted, attempt, last_loss)
+                    for i in exhausted:
+                        with obs.span("rrr.parallel.degraded_job"):
+                            results[i] = self._run_serial(jobs[i])
+                        report.degraded_jobs += 1
+                        report.events.append(
+                            {"kind": "degraded", "job": i, "attempt": attempt[i]}
+                        )
+                    if not pending:
+                        break
+                if retry_round:
+                    backoff = res.backoff(retry_round - 1)
+                    if backoff:
+                        time.sleep(backoff)
+                        report.wall_clock_lost += backoff
+                round_start = time.monotonic()
+                executor = self._ensure_executor()
+                try:
+                    futures = {
+                        i: executor.submit(
+                            _worker_sample, jobs[i] + (i, attempt[i], fault_spec)
+                        )
+                        for i in pending
+                    }
+                except BrokenProcessPool:
+                    # the executor died between rounds; every job of this
+                    # round is lost — recycle and retry them all
+                    for i in pending:
+                        report.record("crash", i, attempt[i])
+                        last_loss[i] = "crash"
+                        attempt[i] += 1
+                    futures = {}
+                    report.retries += len(pending)
+                    retry_round += 1
+                    self._abandon_executor(terminate=False)
+                    report.rebuilds += 1
+                    continue
+                # ALL_COMPLETED (not FIRST_EXCEPTION): a failed job must
+                # not cut the round short — the healthy jobs finish and
+                # keep their results, and a worker death breaks every
+                # pending future promptly anyway
+                wait(futures.values(), timeout=res.job_timeout)
+                broken = False
+                hung = False
+                still_pending = []
+                for i in pending:
+                    future = futures[i]
+                    if not future.done():
+                        hung = True
+                        report.record("timeout", i, attempt[i])
+                        last_loss[i] = "timeout"
+                        attempt[i] += 1
+                        still_pending.append(i)
+                        continue
+                    try:
+                        results[i] = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        report.record("crash", i, attempt[i])
+                        last_loss[i] = "crash"
+                        attempt[i] += 1
+                        still_pending.append(i)
+                    except Exception as exc:  # raised inside the worker
+                        report.record("failure", i, attempt[i], detail=repr(exc))
+                        last_loss[i] = "failure"
+                        attempt[i] += 1
+                        still_pending.append(i)
+                futures = {}
+                pending = still_pending
+                if pending:
+                    report.wall_clock_lost += time.monotonic() - round_start
+                    report.retries += len(pending)
+                    retry_round += 1
+                if broken or hung:
+                    # dead executors cannot be reused; hung ones hold a
+                    # worker hostage — recycle either way
+                    self._abandon_executor(terminate=hung)
+                    report.rebuilds += 1
+        except KeyboardInterrupt:
+            for future in futures.values():
+                future.cancel()
+            self._abandon_executor(terminate=True)
+            raise
+        return results
+
+    def _run_serial(self, job: tuple) -> tuple:
+        """In-process fallback for one job — bit-identical to the worker
+        path, since the job's ``SeedSequence`` pins its stream and fault
+        injection only ever fires inside worker processes."""
+        model, count, seed_seq, eliminate_sources, batch_size = job
+        from repro.rrr import get_sampler
+
+        rng = np.random.Generator(np.random.PCG64(seed_seq))
+        collection, trace = get_sampler(model)(
+            self.graph,
+            count,
+            rng=rng,
+            eliminate_sources=eliminate_sources,
+            batch_size=batch_size,
+        )
+        return (collection.flat, collection.offsets, collection.sources, trace)
+
+    def _raise_unrecoverable(
+        self, exhausted: list[int], attempt: list[int], last_loss: list[str]
+    ) -> None:
+        detail = ", ".join(
+            f"job {i} ({last_loss[i] or 'unknown'} x{attempt[i]})" for i in exhausted
+        )
+        if all(last_loss[i] == "timeout" for i in exhausted):
+            raise SamplingTimeoutError(
+                f"sampling jobs exceeded their retry budget: {detail}"
+            )
+        raise WorkerCrashError(
+            f"sampling jobs exceeded their retry budget: {detail}"
+        )
 
 
 # -- shared pool registry ----------------------------------------------------
 #: pools keyed by (graph fingerprint, n_jobs); one executor per key lives
-#: for the whole process (ProcessPoolExecutor registers its own atexit
-#: shutdown), so sweeps over many (k, epsilon) cells share workers.
+#: for the whole process, so sweeps over many (k, epsilon) cells share
+#: workers.  :func:`shutdown_pools` runs at interpreter exit (atexit) so
+#: resident executors can never leave orphaned workers behind.
 _POOLS: dict[tuple[str, int], SamplerPool] = {}
 
 
@@ -194,10 +425,15 @@ def shared_pool(graph: DirectedGraph, n_jobs: int) -> SamplerPool:
 
     Keyed by content fingerprint, not object identity, so regenerated
     graph instances (e.g. out of ``ExperimentConfig``'s cache) land on
-    the same workers.
+    the same workers.  Entries whose pool has been closed are evicted
+    on lookup and replaced with a fresh pool.
     """
     key = (graph.fingerprint(), int(n_jobs))
     pool = _POOLS.get(key)
+    if pool is not None and pool.closed:
+        _POOLS.pop(key, None)
+        obs.counter_add("rrr.parallel.pool_evicted", 1)
+        pool = None
     if pool is None:
         pool = SamplerPool(graph, n_jobs)
         _POOLS[key] = pool
@@ -205,10 +441,16 @@ def shared_pool(graph: DirectedGraph, n_jobs: int) -> SamplerPool:
 
 
 def shutdown_pools() -> None:
-    """Close every shared pool (tests and long-lived services)."""
+    """Close every shared pool (tests, long-lived services, atexit)."""
     for pool in _POOLS.values():
         pool.close()
     _POOLS.clear()
+
+
+# resident executors must not outlive the interpreter: without this a
+# worker hung mid-job (or a user forgetting shutdown_pools) leaves
+# orphaned processes behind at exit
+atexit.register(shutdown_pools)
 
 
 def sample_rrr_parallel(
@@ -220,6 +462,7 @@ def sample_rrr_parallel(
     eliminate_sources: bool = False,
     batch_size: int = 16384,
     pool: Optional[SamplerPool] = None,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> tuple[RRRCollection, SampleTrace]:
     """Sample ``num_sets`` RRR sets across ``n_jobs`` worker processes.
 
@@ -245,4 +488,5 @@ def sample_rrr_parallel(
         rng=rng,
         eliminate_sources=eliminate_sources,
         batch_size=batch_size,
+        resilience=resilience,
     )

@@ -22,16 +22,25 @@ chunk_sets, batch_size)`` — everything that shapes either the draws or
 their consumption order.  :func:`shared_store` keeps one store per key
 for the whole process so sweep drivers (and user code) transparently
 share samples.
+
+With a ``checkpoint_dir`` every completed chunk is persisted
+(:mod:`repro.resilience.checkpoint`), keyed by the same identity tuple:
+a killed sweep re-run with the same directory loads its prefix from
+disk — after verifying the fingerprint/entropy key — and only tops up
+the deficit.  Because chunks are pure functions of ``(key, j)``, a
+resumed store is bit-identical to an uninterrupted one.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Optional
 
 import numpy as np
 
 from repro import obs
 from repro.graphs.csc import DirectedGraph
+from repro.resilience.options import ResilienceOptions
 from repro.rrr.collection import RRRCollection
 from repro.rrr.parallel import SamplerPool
 from repro.rrr.trace import SampleTrace, empty_trace
@@ -77,6 +86,8 @@ class RRRStore:
         pool: Optional[SamplerPool] = None,
         chunk_sets: int = 4096,
         batch_size: int = 16384,
+        checkpoint_dir=None,
+        resilience: Optional[ResilienceOptions] = None,
     ):
         if graph.weights is None:
             raise ValidationError("RRRStore requires a weighted graph")
@@ -95,6 +106,17 @@ class RRRStore:
         self.n_jobs = int(n_jobs)
         self.chunk_sets = int(chunk_sets)
         self.batch_size = int(batch_size)
+        self.resilience = resilience
+        if checkpoint_dir is None and resilience is not None:
+            checkpoint_dir = resilience.checkpoint_dir
+        # each store nests its own key-digest subdirectory, so one base
+        # dir safely holds every stream of a sweep
+        self._checkpoint_dir: Optional[Path] = None
+        if checkpoint_dir is not None:
+            from repro.resilience import checkpoint as _ckpt
+
+            self._checkpoint_dir = _ckpt.store_dir(checkpoint_dir, self.key())
+        self._checkpoint_loaded = False
         self._pool = pool
         self._chunks: list[tuple[RRRCollection, SampleTrace]] = []
         self._collection: Optional[RRRCollection] = None  # concat cache
@@ -133,7 +155,7 @@ class RRRStore:
         rng = self._chunk_rng(j)
         count = self._chunk_size(j)
         if self.n_jobs > 1:
-            if self._pool is None:
+            if self._pool is None or self._pool.closed:
                 from repro.rrr.parallel import shared_pool
 
                 self._pool = shared_pool(self.graph, self.n_jobs)
@@ -143,6 +165,7 @@ class RRRStore:
                 rng=rng,
                 eliminate_sources=self.eliminate_sources,
                 batch_size=self.batch_size,
+                resilience=self.resilience,
             )
         from repro.rrr import get_sampler
 
@@ -154,6 +177,36 @@ class RRRStore:
             batch_size=self.batch_size,
         )
 
+    # -- checkpointing -------------------------------------------------------
+    def _load_checkpoint(self) -> None:
+        """Adopt the completed chunk prefix persisted on disk (once).
+
+        Verifies the manifest against :meth:`key` (mismatch raises
+        :class:`~repro.utils.errors.CheckpointError`) and stops at the
+        first missing or partial chunk — chunks are pure functions of
+        ``(key, j)``, so the rest is simply resampled.
+        """
+        if self._checkpoint_dir is None or self._checkpoint_loaded:
+            return
+        self._checkpoint_loaded = True
+        from repro.resilience import checkpoint as _ckpt
+
+        chunks = _ckpt.load_chunks(
+            self._checkpoint_dir, self.key(), self.graph.n, self._chunk_size
+        )
+        if len(chunks) > len(self._chunks):
+            self._chunks = chunks
+            self._collection = None
+            self._trace = None
+
+    def _save_chunk(self, j: int, chunk: tuple[RRRCollection, SampleTrace]) -> None:
+        if self._checkpoint_dir is None:
+            return
+        from repro.resilience import checkpoint as _ckpt
+
+        _ckpt.write_manifest(self._checkpoint_dir, self.key())
+        _ckpt.save_chunk(self._checkpoint_dir, j, chunk[0], chunk[1])
+
     def ensure(self, theta: int) -> tuple[RRRCollection, SampleTrace]:
         """The first ``theta`` sets of this stream, sampling any deficit.
 
@@ -164,13 +217,16 @@ class RRRStore:
         if theta < 0:
             raise ValidationError("theta must be non-negative")
         obs.counter_add("rrr.store.requests", 1)
+        self._load_checkpoint()
         cached = self.num_cached
         obs.counter_add("rrr.store.reused_sets", min(theta, cached))
         sampled_new = 0
         while self.num_cached < theta:
+            j = len(self._chunks)
             with obs.span("rrr.store.topup"):
-                chunk = self._sample_chunk(len(self._chunks))
+                chunk = self._sample_chunk(j)
             self._chunks.append(chunk)
+            self._save_chunk(j, chunk)
             sampled_new += chunk[0].num_sets
             self._collection = None
             self._trace = None
@@ -214,6 +270,7 @@ class RRRStore:
             kept_mask=trace.kept_mask[:cut],
             raw_singletons=raw,
             sources=trace.sources[:cut],
+            resilience=trace.resilience,
         )
 
 
@@ -230,12 +287,21 @@ def shared_store(
     pool: Optional[SamplerPool] = None,
     chunk_sets: int = 4096,
     batch_size: int = 16384,
+    checkpoint_dir=None,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> RRRStore:
     """The process-wide :class:`RRRStore` for this stream identity.
 
     Repeated calls with the same key — e.g. every cell of a k-sweep —
     return the same store, which is what turns the sweep's sampling cost
     from O(Σθᵢ) into O(max θᵢ).
+
+    ``checkpoint_dir`` / ``resilience`` are operational knobs, not part
+    of the stream identity: a cache hit keeps the first store's
+    configuration.  A cached store whose explicit pool has since been
+    closed is healed on lookup (its pool reference is dropped, so the
+    next top-up re-acquires a live :func:`shared_pool`) — stale registry
+    state can never serve a dead executor.
     """
     store = RRRStore(
         graph,
@@ -246,10 +312,15 @@ def shared_store(
         pool=pool,
         chunk_sets=chunk_sets,
         batch_size=batch_size,
+        checkpoint_dir=checkpoint_dir,
+        resilience=resilience,
     )
     key = store.key()
     cached = _STORES.get(key)
     if cached is not None:
+        if cached._pool is not None and cached._pool.closed:
+            cached._pool = None
+            obs.counter_add("rrr.store.pool_healed", 1)
         obs.counter_add("rrr.store.shared_hits", 1)
         return cached
     _STORES[key] = store

@@ -10,8 +10,12 @@ source-elimination heuristic changes (§3.4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.resilience.report import ResilienceReport
 
 
 @dataclass
@@ -29,6 +33,9 @@ class SampleTrace:
     kept_mask: np.ndarray  # bool, True where the set was stored
     raw_singletons: int  # sets of size 1 before source elimination
     sources: np.ndarray  # source vertex per attempted set
+    #: recovery tally of the supervised fan-out that produced this trace
+    #: (None for in-process sampling, which has nothing to recover from)
+    resilience: "Optional[ResilienceReport]" = None
 
     @property
     def attempted(self) -> int:
@@ -56,6 +63,8 @@ class SampleTrace:
 
     def merged_with(self, other: "SampleTrace") -> "SampleTrace":
         """Concatenate two traces (successive sampling phases of IMM)."""
+        from repro.resilience.report import merge_reports
+
         return SampleTrace(
             sizes=np.concatenate([self.sizes, other.sizes]),
             rounds=np.concatenate([self.rounds, other.rounds]),
@@ -63,6 +72,7 @@ class SampleTrace:
             kept_mask=np.concatenate([self.kept_mask, other.kept_mask]),
             raw_singletons=self.raw_singletons + other.raw_singletons,
             sources=np.concatenate([self.sources, other.sources]),
+            resilience=merge_reports(self.resilience, other.resilience),
         )
 
 

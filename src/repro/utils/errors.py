@@ -20,6 +20,27 @@ class GraphFormatError(ReproError, ValueError):
     """An on-disk graph file could not be parsed."""
 
 
+class ResilienceError(ReproError, RuntimeError):
+    """A supervised sampling run could not be recovered.
+
+    Only raised when the retry budget is exhausted *and* serial
+    fallback is disabled (``ResilienceOptions(serial_fallback=False)``);
+    with the defaults the pipeline degrades instead of raising.
+    """
+
+
+class WorkerCrashError(ResilienceError):
+    """A sampling worker died (or kept failing) past the retry budget."""
+
+
+class SamplingTimeoutError(ResilienceError, TimeoutError):
+    """A sampling job kept exceeding ``job_timeout`` past the retry budget."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """An RRR-store checkpoint is unusable (key mismatch, bad manifest)."""
+
+
 class DeviceOOMError(ReproError, MemoryError):
     """A simulated device allocation exceeded the device's global memory.
 

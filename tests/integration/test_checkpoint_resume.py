@@ -1,0 +1,71 @@
+"""A killed warm-start sweep resumes from disk with identical results.
+
+Simulates the kill with :func:`clear_stores` (the in-memory registry —
+everything a dead process loses — vanishes; the checkpoint directory
+survives) and re-runs the same cell: the resumed run must produce the
+identical table row while re-sampling nothing the first run completed.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import compare_engines
+from repro.rrr.store import clear_stores
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    clear_stores()
+    yield
+    clear_stores()
+
+
+def _config(checkpoint_dir):
+    return ExperimentConfig(
+        scale="tiny", datasets=("WV",), seed=7,
+        theta_scale=0.2, sweep_theta_scale=0.2,
+        warm_start=True, checkpoint_dir=str(checkpoint_dir),
+    )
+
+
+def test_sweep_resumes_identically_without_resampling(tmp_path):
+    config = _config(tmp_path)
+    with obs.profiled() as cold_handle:
+        cold = compare_engines("WV", 8, 0.3, "IC", config,
+                               include_curipples=False)
+    cold_counters = cold_handle.report().counters
+    assert cold_counters["rrr.store.checkpoint_saved_chunks"] > 0
+
+    clear_stores()  # the "kill": all in-memory store state is gone
+    with obs.profiled() as warm_handle:
+        resumed = compare_engines("WV", 8, 0.3, "IC", config,
+                                  include_curipples=False)
+    warm_counters = warm_handle.report().counters
+
+    # identical table row...
+    assert np.array_equal(resumed.eim.seeds, cold.eim.seeds)
+    assert np.array_equal(resumed.gim.seeds, cold.gim.seeds)
+    assert resumed.eim.theta == cold.eim.theta
+    assert resumed.gim.theta == cold.gim.theta
+    assert resumed.table_cell_vs_gim() == cold.table_cell_vs_gim()
+    # ...with every completed chunk read back instead of resampled
+    assert warm_counters["rrr.store.checkpoint_loaded_sets"] > 0
+    assert warm_counters.get("rrr.store.topups", 0) == 0
+    assert warm_counters.get("rrr.store.sampled_sets", 0) == 0
+
+
+def test_resume_extends_to_larger_cells(tmp_path):
+    config = _config(tmp_path)
+    compare_engines("WV", 4, 0.3, "IC", config, include_curipples=False)
+    clear_stores()
+    # the bigger cell tops the resumed streams up; a from-scratch sweep
+    # over the same cells must agree exactly
+    resumed = compare_engines("WV", 16, 0.3, "IC", config, include_curipples=False)
+    clear_stores()
+    fresh_cfg = _config(tmp_path / "fresh")
+    fresh = compare_engines("WV", 16, 0.3, "IC", fresh_cfg, include_curipples=False)
+    assert np.array_equal(resumed.eim.seeds, fresh.eim.seeds)
+    assert np.array_equal(resumed.gim.seeds, fresh.gim.seeds)
+    assert resumed.eim.theta == fresh.eim.theta

@@ -1,0 +1,152 @@
+"""RRR-store checkpointing: chunk-aligned persistence and resume.
+
+The invariant everything here leans on: a chunk is a pure function of
+``(store key, chunk index)``, so a store resumed from any completed
+prefix — including after a kill mid-write — is bit-identical to one that
+sampled straight through.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.resilience import checkpoint as ckpt
+from repro.resilience.options import ResilienceOptions
+from repro.rrr.store import RRRStore
+from repro.utils.errors import CheckpointError
+
+CHUNK = 32  # small chunks -> several files per test
+
+
+def _store(graph, tmp_path, entropy=(1, 2), **kwargs):
+    return RRRStore(graph, entropy=entropy, chunk_sets=CHUNK,
+                    checkpoint_dir=tmp_path, **kwargs)
+
+
+# -- key digests and manifests -----------------------------------------------
+
+
+def test_key_digest_is_stable_and_key_sensitive():
+    key = ("fp", "IC", False, (1, 2), 1, 32, 16384)
+    assert ckpt.key_digest(key) == ckpt.key_digest(key)
+    assert ckpt.key_digest(key) != ckpt.key_digest(key[:-1] + (8192,))
+    assert ckpt.canonical_key(key) == ["fp", "IC", False, [1, 2], 1, 32, 16384]
+    subdir = ckpt.store_dir("/base", key)
+    assert subdir.name == f"rrr-{ckpt.key_digest(key)}"
+
+
+def test_manifest_roundtrip_and_mismatch(tmp_path):
+    key = ("fp", "IC", False, (1,), 1, 32, 16384)
+    directory = tmp_path / "stream"
+    ckpt.write_manifest(directory, key)
+    ckpt.write_manifest(directory, key)  # idempotent
+    ckpt.verify_manifest(directory, key)
+    with pytest.raises(CheckpointError, match="different stream"):
+        ckpt.verify_manifest(directory, ("other", "IC", False, (1,), 1, 32, 16384))
+    with pytest.raises(CheckpointError):
+        ckpt.write_manifest(directory, ("other", "IC", False, (1,), 1, 32, 16384))
+
+
+def test_manifest_bad_format_and_garbage(tmp_path):
+    key = ("fp",)
+    directory = tmp_path / "stream"
+    directory.mkdir()
+    (directory / ckpt.MANIFEST).write_text(json.dumps({"format": "v0", "key": ["fp"]}))
+    with pytest.raises(CheckpointError, match="format"):
+        ckpt.verify_manifest(directory, key)
+    (directory / ckpt.MANIFEST).write_text("not json {")
+    with pytest.raises(CheckpointError, match="unreadable"):
+        ckpt.verify_manifest(directory, key)
+
+
+def test_load_chunks_missing_directory_is_empty(tmp_path):
+    assert ckpt.load_chunks(tmp_path / "nope", ("k",), 4, lambda j: 1) == []
+
+
+# -- store resume ------------------------------------------------------------
+
+
+def test_store_resume_is_bit_identical_with_no_resampling(small_ic_graph, tmp_path):
+    first = _store(small_ic_graph, tmp_path)
+    baseline, _ = first.ensure(200)
+    assert first.num_cached >= 200
+
+    # "kill" the process: a brand-new store over the same directory
+    resumed = _store(small_ic_graph, tmp_path)
+    with obs.profiled() as handle:
+        coll, _ = resumed.ensure(200)
+    counters = handle.report().counters
+    assert np.array_equal(coll.flat, baseline.flat)
+    assert np.array_equal(coll.offsets, baseline.offsets)
+    assert np.array_equal(coll.sources, baseline.sources)
+    assert counters.get("rrr.store.topups", 0) == 0  # nothing resampled
+    assert counters["rrr.store.checkpoint_loaded_sets"] == first.num_cached
+
+
+def test_store_resume_tops_up_past_checkpoint(small_ic_graph, tmp_path):
+    _store(small_ic_graph, tmp_path).ensure(100)
+    resumed = _store(small_ic_graph, tmp_path)
+    grown, _ = resumed.ensure(500)
+    fresh, _ = RRRStore(small_ic_graph, entropy=(1, 2), chunk_sets=CHUNK).ensure(500)
+    assert np.array_equal(grown.flat, fresh.flat)
+    # and the top-up chunks were persisted too: a third store resumes all
+    with obs.profiled() as handle:
+        third = _store(small_ic_graph, tmp_path)
+        third.ensure(500)
+    assert handle.report().counters.get("rrr.store.topups", 0) == 0
+
+
+def test_kill_mid_write_drops_partial_chunk_and_heals(small_ic_graph, tmp_path):
+    first = _store(small_ic_graph, tmp_path)
+    baseline, _ = first.ensure(200)
+    chunk_files = sorted(first._checkpoint_dir.glob("chunk_*.npz"))
+    assert len(chunk_files) >= 2
+    # a kill mid-write leaves a torn trailing chunk
+    torn = chunk_files[-1].read_bytes()
+    chunk_files[-1].write_bytes(torn[: len(torn) // 2])
+
+    resumed = _store(small_ic_graph, tmp_path)
+    with obs.profiled() as handle:
+        coll, _ = resumed.ensure(200)
+    counters = handle.report().counters
+    assert counters["rrr.store.checkpoint_bad_chunks"] == 1
+    assert counters["rrr.store.topups"] == 1  # torn chunk resampled...
+    assert np.array_equal(coll.flat, baseline.flat)  # ...bit-identically
+
+
+def test_mismatched_key_raises_checkpoint_error(small_ic_graph, tmp_path):
+    first = _store(small_ic_graph, tmp_path)
+    first.ensure(50)
+    other = _store(small_ic_graph, tmp_path, entropy=(9, 9))
+    # different entropy -> different digest subdirectory; force the clash
+    # an operator would cause by pointing a stream at the wrong directory
+    other._checkpoint_dir = first._checkpoint_dir
+    with pytest.raises(CheckpointError, match="different stream"):
+        other.ensure(10)
+
+
+def test_checkpoint_dir_flows_from_resilience_options(small_ic_graph, tmp_path):
+    store = RRRStore(
+        small_ic_graph, entropy=3, chunk_sets=CHUNK,
+        resilience=ResilienceOptions(checkpoint_dir=tmp_path),
+    )
+    store.ensure(40)
+    assert store._checkpoint_dir is not None
+    assert (store._checkpoint_dir / ckpt.MANIFEST).exists()
+    assert sorted(store._checkpoint_dir.glob("chunk_*.npz"))
+
+
+def test_stores_with_different_keys_share_one_base_dir(small_ic_graph, tmp_path):
+    a = _store(small_ic_graph, tmp_path, entropy=(1,))
+    b = _store(small_ic_graph, tmp_path, entropy=(2,))
+    a.ensure(40)
+    b.ensure(40)
+    assert a._checkpoint_dir != b._checkpoint_dir
+    # each resumes its own stream, never the sibling's
+    ra, _ = _store(small_ic_graph, tmp_path, entropy=(1,)).ensure(40)
+    ca, _ = a.ensure(40)
+    assert np.array_equal(ra.flat, ca.flat)
