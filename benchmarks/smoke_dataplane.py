@@ -1,0 +1,179 @@
+"""Data-plane smoke benchmark — writes ``BENCH_pr4_dataplane.json``.
+
+CI-sized comparison of the two parent<->worker data planes
+(:mod:`repro.shm`) on one synthetic graph big enough for the graph
+arrays to dominate worker memory:
+
+* **worker residency** — per-worker private bytes (USS, from
+  ``/proc/<pid>/smaps_rollup``) after the pool is warm.  The pickle
+  plane gives every worker a private copy of the CSC arrays; the shm
+  plane maps one shared publication, so per-worker private bytes drop
+  by roughly the graph size.  Pools run under the ``spawn`` start
+  method: that is where the pickle plane's per-worker copy physically
+  materializes (the macOS/Windows default, and fork hides the copy
+  behind COW), so both planes are measured on the portable semantics.
+* **IPC volume** — the ``ipc.bytes_sent`` counter: raw pickled arrays
+  vs log-encoded :class:`~repro.shm.transport.PackedResult` payloads.
+* **wall-clock** — the same sampling request on both planes must not
+  regress.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/smoke_dataplane.py
+
+The JSON lands next to the repository root by default (``--out`` to
+relocate).  One timed round per cell — this is a smoke check, not a
+rigorous benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.graphs.generators import erdos_renyi_directed
+from repro.graphs.weights import assign_ic_weights
+from repro.rrr.parallel import SamplerPool
+from repro.shm import REGISTRY
+
+N_VERTICES = 60_000
+N_EDGES = 1_500_000
+NUM_SETS = 1_200
+N_JOBS_GRID = (1, 2, 4)
+RNG_SEED = 2024
+
+
+def _worker_private_bytes(executor) -> list[int]:
+    """Per-worker USS (private clean+dirty KB from smaps_rollup), bytes.
+
+    Empty on platforms without /proc — the JSON then reports residency
+    as null and the residency gate is skipped.
+    """
+    out = []
+    for pid in list(getattr(executor, "_processes", {}) or {}):
+        path = Path(f"/proc/{pid}/smaps_rollup")
+        try:
+            text = path.read_text()
+        except OSError:
+            continue
+        private = 0
+        for line in text.splitlines():
+            if line.startswith(("Private_Clean:", "Private_Dirty:")):
+                private += int(line.split()[1]) * 1024
+        out.append(private)
+    return out
+
+
+def run_cell(graph, plane: str, n_jobs: int) -> dict:
+    pool = SamplerPool(graph, n_jobs, data_plane=plane, mp_context="spawn")
+    try:
+        # warm the executor (spawn + import + graph delivery) off the clock
+        pool.sample("IC", 4 * n_jobs, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(RNG_SEED)
+        with obs.profiled() as handle:
+            start = time.perf_counter()
+            collection, _ = pool.sample("IC", NUM_SETS, rng=rng)
+            seconds = time.perf_counter() - start
+        workers = (
+            _worker_private_bytes(pool._executor)
+            if pool._executor is not None
+            else []
+        )
+        counters = handle.report().counters
+        return {
+            "plane": pool.data_plane,
+            "n_jobs": n_jobs,
+            "seconds": round(seconds, 4),
+            "num_sets": collection.num_sets,
+            "checksum": int(collection.flat.sum()),
+            "ipc_bytes_sent": int(counters.get("ipc.bytes_sent", 0)),
+            "ipc_bytes_raw": int(counters.get("ipc.bytes_raw", 0)),
+            "worker_private_bytes_mean": (
+                int(sum(workers) / len(workers)) if workers else None
+            ),
+            "shm_resident_bytes": REGISTRY.resident_bytes,
+        }
+    finally:
+        pool.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_pr4_dataplane.json"
+        ),
+        help="output JSON path (default: <repo root>/BENCH_pr4_dataplane.json)",
+    )
+    args = parser.parse_args(argv)
+
+    graph = assign_ic_weights(
+        erdos_renyi_directed(N_VERTICES, N_EDGES, rng=RNG_SEED)
+    )
+    graph_bytes = (
+        graph.indptr.nbytes + graph.indices.nbytes + graph.weights.nbytes
+    )
+    cells = [
+        run_cell(graph, plane, n_jobs)
+        for n_jobs in N_JOBS_GRID
+        for plane in ("pickle", "shm")
+    ]
+
+    report = {
+        "benchmark": "pr4_dataplane",
+        "graph": {"n": graph.n, "m": graph.m, "csc_bytes": graph_bytes},
+        "num_sets": NUM_SETS,
+        "cells": cells,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    print(f"[written to {args.out}]")
+
+    by_key = {(c["plane"], c["n_jobs"]): c for c in cells}
+    failures = []
+
+    # bit-identity across planes at every fan-out
+    for n_jobs in N_JOBS_GRID:
+        if by_key[("pickle", n_jobs)]["checksum"] != by_key[("shm", n_jobs)]["checksum"]:
+            failures.append(f"checksum mismatch across planes at n_jobs={n_jobs}")
+
+    # >= 30% IPC reduction wherever the request actually fanned out
+    for n_jobs in (2, 4):
+        raw = by_key[("pickle", n_jobs)]["ipc_bytes_sent"]
+        packed = by_key[("shm", n_jobs)]["ipc_bytes_sent"]
+        if not (0 < packed <= 0.7 * raw):
+            failures.append(
+                f"IPC not reduced >=30% at n_jobs={n_jobs}: {packed} vs {raw}"
+            )
+
+    # >= 2x reduction in per-worker resident *graph* bytes at n_jobs=4:
+    # the pickle worker carries a private CSC copy, the shm worker at
+    # most half of one (baseline interpreter noise cancels in the delta)
+    pickle_uss = by_key[("pickle", 4)]["worker_private_bytes_mean"]
+    shm_uss = by_key[("shm", 4)]["worker_private_bytes_mean"]
+    if pickle_uss is not None and shm_uss is not None:
+        if pickle_uss - shm_uss < graph_bytes / 2:
+            failures.append(
+                f"worker residency not reduced by >= csc_bytes/2: "
+                f"pickle={pickle_uss} shm={shm_uss} csc={graph_bytes}"
+            )
+
+    # no wall-clock regression beyond smoke-run noise
+    pickle_s = by_key[("pickle", 4)]["seconds"]
+    shm_s = by_key[("shm", 4)]["seconds"]
+    if shm_s > 1.5 * pickle_s:
+        failures.append(f"shm plane regressed wall-clock: {shm_s}s vs {pickle_s}s")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

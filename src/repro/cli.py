@@ -81,6 +81,12 @@ def _workload_parent(
     parent.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                         help="persist warm-start RRR chunks under DIR and "
                              "resume from them on re-run")
+    parent.add_argument("--data-plane", default=None, choices=["pickle", "shm"],
+                        help="parent<->worker transport: 'shm' publishes the "
+                             "graph once into shared memory and ships results "
+                             "log-encoded; 'pickle' is the classic path "
+                             "(default: REPRO_DATA_PLANE, else shm where "
+                             "available; output is bit-identical either way)")
     parent.add_argument("--profile", action="store_true",
                         help="print a per-phase timing/metrics table for the run")
     return parent
@@ -161,6 +167,7 @@ def _cmd_seeds(args) -> int:
             entropy=args.seed,
             n_jobs=args.jobs,
             resilience=resilience,
+            data_plane=args.data_plane,
         )
     result = run_imm(
         graph, args.k, args.epsilon, rng=args.seed,
@@ -171,6 +178,7 @@ def _cmd_seeds(args) -> int:
             n_jobs=args.jobs,
             profile=args.profile or args.profile_json is not None,
             resilience=resilience,
+            data_plane=args.data_plane,
         ),
         store=store,
     )
@@ -208,6 +216,7 @@ def _cmd_compare(args) -> int:
         warm_start=args.warm_start or args.checkpoint_dir is not None,
         job_timeout=args.timeout, max_retries=args.retries,
         checkpoint_dir=args.checkpoint_dir,
+        data_plane=args.data_plane,
     )
     handle = obs.install() if args.profile else None
     row = compare_engines(args.dataset, args.k, args.epsilon, args.model, cfg)

@@ -217,9 +217,29 @@ def _decode_at(
 
 
 def unpack_words(
-    words: np.ndarray, n_bits: int, count: int, container_bits: int = 32
+    words: np.ndarray,
+    n_bits: int,
+    count: int,
+    container_bits: int = 32,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Decode ``count`` fields from a packed container array to int64."""
+    """Decode ``count`` fields from a packed container array to int64.
+
+    With ``out`` the decoded values are written into the caller's array
+    (any integer dtype; must have ``count`` elements) — how the shared
+    data plane lands worker payloads directly in arena segments instead
+    of allocating an intermediate result.
+    """
+    if out is not None and out.size != count:
+        raise ValidationError(
+            f"out has {out.size} elements, expected {count}"
+        )
     if count == 0:
-        return np.empty(0, dtype=np.int64)
-    return _decode_at(words, n_bits, np.arange(count, dtype=np.int64), container_bits)
+        return np.empty(0, dtype=np.int64) if out is None else out
+    decoded = _decode_at(
+        words, n_bits, np.arange(count, dtype=np.int64), container_bits
+    )
+    if out is None:
+        return decoded
+    np.copyto(out, decoded, casting="unsafe")
+    return out

@@ -17,6 +17,7 @@ whole suite stays CI-sized.  Environment overrides:
 ``REPRO_RETRIES``          sampling retry budget per job (default 2)
 ``REPRO_CHECKPOINT_DIR``   base dir for warm-start RRR checkpoints
 ``REPRO_FAULTS``           fault-injection plan (repro.resilience.faults)
+``REPRO_DATA_PLANE``       ``shm`` (default where available) / ``pickle``
 ========================  ============================================
 """
 
@@ -85,6 +86,11 @@ class ExperimentConfig:
     #: persistence); each stream nests a key-digest subdirectory, so a
     #: killed sweep re-run with the same dir resumes from disk
     checkpoint_dir: Optional[str] = None
+    #: parent<->worker data plane: "shm" (zero-copy shared graph +
+    #: log-encoded IPC) or "pickle"; None defers to REPRO_DATA_PLANE,
+    #: then to "shm" where OS shared memory works.  Bit-identical output
+    #: either way.
+    data_plane: Optional[str] = None
 
     @classmethod
     def from_env(cls, **overrides) -> "ExperimentConfig":
@@ -114,6 +120,8 @@ class ExperimentConfig:
             kwargs["max_retries"] = int(os.environ["REPRO_RETRIES"])
         if "REPRO_CHECKPOINT_DIR" in os.environ:
             kwargs["checkpoint_dir"] = os.environ["REPRO_CHECKPOINT_DIR"]
+        if "REPRO_DATA_PLANE" in os.environ:
+            kwargs["data_plane"] = os.environ["REPRO_DATA_PLANE"]
         kwargs.update(overrides)
         return cls(**kwargs)
 
@@ -126,6 +134,13 @@ class ExperimentConfig:
             raise ValidationError("repeats must be >= 1")
         if self.n_jobs < 1:
             raise ValidationError("n_jobs must be >= 1")
+        if self.data_plane is not None and str(
+            self.data_plane
+        ).strip().lower() not in ("pickle", "shm"):
+            raise ValidationError(
+                f"unknown data plane {self.data_plane!r}; "
+                "choose 'pickle' or 'shm' (or None for the default)"
+            )
         self.resilience()  # validates job_timeout / max_retries eagerly
 
     # -- derived pieces --------------------------------------------------------
@@ -164,7 +179,7 @@ class ExperimentConfig:
             return None
         from repro.rrr.parallel import shared_pool
 
-        return shared_pool(graph, self.n_jobs)
+        return shared_pool(graph, self.n_jobs, data_plane=self.data_plane)
 
     def graph(self, code: str, model: str = "IC") -> DirectedGraph:
         """The weighted synthetic instance of dataset ``code`` (cached)."""

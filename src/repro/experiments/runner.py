@@ -120,6 +120,7 @@ def _warm_stores(graph, model, rep, config, pool):
             n_jobs=config.n_jobs,
             pool=pool,
             resilience=config.resilience(),
+            data_plane=config.data_plane,
         )
 
     return make(True), make(False)
@@ -203,7 +204,8 @@ def compare_engines(
                 graph, k_eff, epsilon, rng=rng_vanilla,
                 options=IMMOptions(model=model, eliminate_sources=False,
                                    bounds=bounds, n_jobs=config.n_jobs,
-                                   resilience=resilience),
+                                   resilience=resilience,
+                                   data_plane=config.data_plane),
                 pool=pool, store=vanilla_store,
             )
         except MemoryError as exc:

@@ -222,7 +222,7 @@ def _run_imm_core(
     if store is None and pool is None and options.n_jobs > 1:
         from repro.rrr.parallel import shared_pool
 
-        pool = shared_pool(graph, options.n_jobs)
+        pool = shared_pool(graph, options.n_jobs, data_plane=options.data_plane)
 
     if pool is not None:
         def draw(count: int) -> tuple[RRRCollection, SampleTrace]:

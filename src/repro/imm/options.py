@@ -53,6 +53,14 @@ class IMMOptions:
         :class:`~repro.resilience.options.ResilienceOptions` governing
         the supervision of parallel sampling (timeouts, retries, serial
         degradation); ``None`` uses the library default policy.
+    data_plane:
+        How graph and results move between the parent and sampler
+        workers: ``"shm"`` (zero-copy shared-memory graph plus
+        log-encoded IPC) or ``"pickle"`` (the classic pickled
+        initializer / raw results).  ``None`` defers to the
+        ``REPRO_DATA_PLANE`` environment variable, then to ``"shm"``
+        wherever OS shared memory works.  Output is bit-identical
+        across planes.
     """
 
     model: str = "IC"
@@ -63,6 +71,7 @@ class IMMOptions:
     n_jobs: int = 1
     profile: bool = False
     resilience: ResilienceOptions | None = None
+    data_plane: str | None = None
 
     def __post_init__(self):
         object.__setattr__(self, "model", str(self.model).upper())
@@ -85,6 +94,14 @@ class IMMOptions:
             raise ValidationError(
                 "resilience must be a ResilienceOptions instance (or None)"
             )
+        if self.data_plane is not None:
+            plane = str(self.data_plane).strip().lower()
+            if plane not in ("pickle", "shm"):
+                raise ValidationError(
+                    f"unknown data plane {self.data_plane!r}; "
+                    "choose 'pickle' or 'shm' (or None for the default)"
+                )
+            object.__setattr__(self, "data_plane", plane)
 
     def replace(self, **changes) -> "IMMOptions":
         """A copy with ``changes`` applied (frozen-dataclass convenience)."""

@@ -5,12 +5,24 @@ on multi-core machines (the paper's host has 16) RRR generation is
 embarrassingly parallel — Ripples' whole design point — so this module
 fans a request out over a process pool.  The pool is *resident*: a
 :class:`SamplerPool` owns one :class:`ProcessPoolExecutor` per graph,
-ships the (pickled) CSC arrays once per worker via the executor's
-initializer, and stays alive across every estimation phase and final
-top-up of an IMM run — and, through :func:`shared_pool`, across all
-runs of a sweep.  Re-building the executor per call (the old
-``sample_rrr_parallel`` behaviour) re-pickled the whole graph every
-time, which dominated the fan-out cost it was supposed to amortize.
+delivers the CSC arrays to workers once, and stays alive across every
+estimation phase and final top-up of an IMM run — and, through
+:func:`shared_pool`, across all runs of a sweep.  Re-building the
+executor per call (the old ``sample_rrr_parallel`` behaviour)
+re-shipped the whole graph every time, which dominated the fan-out
+cost it was supposed to amortize.
+
+Data plane (:mod:`repro.shm`): with ``data_plane="shm"`` (the default
+wherever OS shared memory works) the graph is *published once* into
+shared segments and every worker attaches the same physical pages
+zero-copy — ``n_jobs`` workers hold one copy of the graph instead of
+``n_jobs`` private ones, and an executor rebuild after a crash
+re-attaches instead of re-shipping.  Worker results come back
+log-encoded (:class:`~repro.shm.transport.PackedResult`) at
+``bit_length(x_max)`` bits per element instead of raw int64 pickles,
+and the parent decode is bit-identical to the raw path.  With
+``data_plane="pickle"`` (or where shared memory is unavailable) the
+original pickled-initializer / raw-result path runs unchanged.
 
 Each call splits the set count into one job per worker; every job
 carries an independent spawned RNG stream and results merge in job
@@ -40,9 +52,10 @@ from __future__ import annotations
 
 import atexit
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -54,6 +67,8 @@ from repro.resilience.options import DEFAULT_RESILIENCE, ResilienceOptions
 from repro.resilience.report import ResilienceReport
 from repro.rrr.collection import RRRCollection
 from repro.rrr.trace import SampleTrace, empty_trace
+from repro.shm.segments import resolve_data_plane
+from repro.shm.transport import PackedResult
 from repro.utils.errors import (
     SamplingTimeoutError,
     ValidationError,
@@ -61,12 +76,31 @@ from repro.utils.errors import (
 )
 from repro.utils.rng import spawn_seed_sequences
 
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.shm.arena import ChunkArena
+    from repro.shm.graph import SharedGraph
+
 _WORKER_GRAPH: Optional[DirectedGraph] = None
+_WORKER_ATTACHMENT = None
 
 
-def _init_worker(indptr, indices, weights):
-    global _WORKER_GRAPH
-    _WORKER_GRAPH = DirectedGraph(indptr, indices, weights)
+def _init_worker(mode: str, payload):
+    """Executor initializer: materialize the graph once per worker.
+
+    ``mode="pickle"`` receives the CSC arrays themselves (a private
+    copy per worker); ``mode="shm"`` receives a
+    :class:`~repro.shm.graph.SharedGraphHandle` and attaches the
+    published segments zero-copy.
+    """
+    global _WORKER_GRAPH, _WORKER_ATTACHMENT
+    if mode == "shm":
+        from repro.shm.graph import attach_graph
+
+        _WORKER_ATTACHMENT = attach_graph(payload)
+        _WORKER_GRAPH = _WORKER_ATTACHMENT.graph
+    else:
+        indptr, indices, weights = payload
+        _WORKER_GRAPH = DirectedGraph(indptr, indices, weights)
 
 
 def _worker_sample(args):
@@ -76,6 +110,7 @@ def _worker_sample(args):
         seed_seq,
         eliminate_sources,
         batch_size,
+        pack_results,
         job_index,
         attempt,
         fault_spec,
@@ -95,6 +130,14 @@ def _worker_sample(args):
         eliminate_sources=eliminate_sources,
         batch_size=batch_size,
     )
+    if pack_results:
+        return PackedResult.encode(
+            collection.flat,
+            collection.offsets,
+            collection.sources,
+            trace,
+            _WORKER_GRAPH.n,
+        )
     return (
         collection.flat,
         collection.offsets,
@@ -123,14 +166,34 @@ class SamplerPool:
     job from its own pinned ``SeedSequence``.
     """
 
-    def __init__(self, graph: DirectedGraph, n_jobs: int):
+    def __init__(
+        self,
+        graph: DirectedGraph,
+        n_jobs: int,
+        data_plane: Optional[str] = None,
+        mp_context: Optional[str] = None,
+    ):
         if graph.weights is None:
             raise ValidationError("parallel sampling requires a weighted graph")
         if n_jobs < 1:
             raise ValidationError("n_jobs must be >= 1")
+        if mp_context is not None and mp_context not in ("fork", "spawn", "forkserver"):
+            raise ValidationError(
+                f"unknown mp_context {mp_context!r}; "
+                "choose fork, spawn, or forkserver (or None for the default)"
+            )
         self.graph = graph
         self.n_jobs = int(n_jobs)
+        self.data_plane = resolve_data_plane(data_plane)
+        #: multiprocessing start method for the workers (None = platform
+        #: default).  Under "spawn" the pickle plane genuinely ships one
+        #: private graph copy per worker, whereas "fork" hides it behind
+        #: copy-on-write — which is why cross-platform memory numbers
+        #: (and the residency benchmark) use spawn explicitly.
+        self.mp_context = mp_context
         self._executor: Optional[ProcessPoolExecutor] = None
+        self._shared_graph: "Optional[SharedGraph]" = None
+        self._ever_started = False
         self._closed = False
 
     # -- lifecycle -----------------------------------------------------------
@@ -144,17 +207,63 @@ class SamplerPool:
         """Whether :meth:`close` ended this pool's life (terminal)."""
         return self._closed
 
+    def _initializer_args(self) -> tuple:
+        """``(mode, payload)`` for :func:`_init_worker` under the
+        resolved data plane, publishing the shared graph on first use.
+
+        A rebuild after ``_abandon_executor`` reuses the segments
+        already published — re-attach, never re-publish — which is what
+        makes crash recovery O(mmap) instead of O(graph bytes).
+        Publish failures (exotic /dev/shm restrictions) degrade the
+        pool to the pickle plane once, with a warning.
+        """
+        if self.data_plane == "shm":
+            if self._shared_graph is None or self._shared_graph.closed:
+                from repro.shm.graph import SharedGraph
+
+                try:
+                    self._shared_graph = SharedGraph(self.graph)
+                except Exception as exc:
+                    warnings.warn(
+                        f"shared-memory graph publish failed ({exc!r}); "
+                        "falling back to the pickle data plane",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    obs.counter_add("shm.fallbacks", 1)
+                    self.data_plane = "pickle"
+            else:
+                obs.counter_add("shm.graph_reattached", 1)
+        if self.data_plane == "shm":
+            return ("shm", self._shared_graph.handle())
+        return (
+            "pickle",
+            (self.graph.indptr, self.graph.indices, self.graph.weights),
+        )
+
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
+            rebuild = self._ever_started
+            start = time.monotonic()
+            context = None
+            if self.mp_context is not None:
+                import multiprocessing
+
+                context = multiprocessing.get_context(self.mp_context)
             with obs.span("rrr.parallel.pool_start"):
                 self._executor = ProcessPoolExecutor(
                     max_workers=self.n_jobs,
+                    mp_context=context,
                     initializer=_init_worker,
-                    initargs=(
-                        self.graph.indptr,
-                        self.graph.indices,
-                        self.graph.weights,
-                    ),
+                    initargs=self._initializer_args(),
+                )
+            self._ever_started = True
+            if rebuild:
+                # the satellite metric: how fast a rebuilt executor got
+                # its graph back (reattach on shm, full reship on pickle)
+                obs.counter_add(
+                    "rrr.parallel.rebuild_attach_seconds",
+                    time.monotonic() - start,
                 )
             obs.counter_add("rrr.parallel.pool_created", 1)
         else:
@@ -197,6 +306,9 @@ class SamplerPool:
             except Exception:  # a broken pool is already as shut as it gets
                 pass
             self._executor = None
+        if self._shared_graph is not None:
+            self._shared_graph.close()
+            self._shared_graph = None
         self._closed = True
 
     def __enter__(self) -> "SamplerPool":
@@ -214,14 +326,19 @@ class SamplerPool:
         eliminate_sources: bool = False,
         batch_size: int = 16384,
         resilience: Optional[ResilienceOptions] = None,
+        arena: "Optional[ChunkArena]" = None,
     ) -> tuple[RRRCollection, SampleTrace]:
         """Sample ``num_sets`` RRR sets across the pool's workers.
 
         Semantically identical to the single-process samplers (same
-        distribution; deterministic for fixed ``rng`` and ``n_jobs``),
-        under the supervision policy of ``resilience`` (defaults to
+        distribution; deterministic for fixed ``rng`` and ``n_jobs``,
+        and across data planes), under the supervision policy of
+        ``resilience`` (defaults to
         :data:`~repro.resilience.options.DEFAULT_RESILIENCE`: no
-        timeout, 2 retries, serial fallback).
+        timeout, 2 retries, serial fallback).  With ``arena`` (a
+        :class:`~repro.shm.arena.ChunkArena`) the merged collection's
+        arrays live in shared-memory segments owned by the arena —
+        packed worker payloads decode straight into them.
         """
         if self._closed:
             raise ValidationError("SamplerPool is closed")
@@ -243,8 +360,16 @@ class SamplerPool:
         share = num_sets // self.n_jobs
         counts = [share] * self.n_jobs
         counts[-1] += num_sets - share * self.n_jobs
+        pack_results = self.data_plane == "shm"
         jobs = [
-            (model.upper(), counts[i], children[i], eliminate_sources, batch_size)
+            (
+                model.upper(),
+                counts[i],
+                children[i],
+                eliminate_sources,
+                batch_size,
+                pack_results,
+            )
             for i in range(self.n_jobs)
         ]
         obs.counter_add("rrr.parallel.jobs", self.n_jobs)
@@ -253,16 +378,63 @@ class SamplerPool:
             results = self._supervise(jobs, res, report)
 
         with obs.span("rrr.parallel.merge"):
-            parts = [
-                RRRCollection(flat, offsets, self.graph.n, sources=sources, check=False)
-                for flat, offsets, sources, _ in results
-            ]
-            collection = RRRCollection.concat(parts)
-            trace = empty_trace()
-            for _, _, _, t in results:
-                trace = trace.merged_with(t)
+            collection, trace = self._merge(results, arena)
             trace.resilience = report
         report.publish()
+        return collection, trace
+
+    def _merge(
+        self, results: list, arena: "Optional[ChunkArena]"
+    ) -> tuple[RRRCollection, SampleTrace]:
+        """Merge per-job results (packed or raw, in job order).
+
+        Accounting: ``ipc.bytes_sent`` tallies what actually crossed
+        the executor pipe; ``ipc.bytes_packed`` / ``ipc.bytes_raw``
+        expose the log-encoding savings (the host-side Fig. 4 story).
+        Degraded jobs run in-process and are excluded — they cost no
+        IPC.
+        """
+        packed = [r for r in results if isinstance(r, PackedResult)]
+        if packed and obs.enabled():
+            sent = sum(p.nbytes_packed for p in packed)
+            raw = sum(p.nbytes_raw for p in packed)
+            obs.counter_add("ipc.bytes_sent", sent)
+            obs.counter_add("ipc.bytes_packed", sent)
+            obs.counter_add("ipc.bytes_raw", raw)
+            if raw:
+                obs.gauge_set("ipc.compression_ratio", sent / raw)
+        if len(packed) == len(results) and arena is not None:
+            # the zero-copy path: decode every payload straight into
+            # one arena chunk; traces decode separately (diagnostics)
+            chunk = arena.merge_payloads(results, self.graph.n)
+            collection = chunk.collection(self.graph.n)
+            trace = empty_trace()
+            for payload in results:
+                trace = trace.merged_with(payload.decode_trace())
+            return collection, trace
+        decoded = [
+            r.decode() if isinstance(r, PackedResult) else r for r in results
+        ]
+        if obs.enabled():
+            raw_sent = sum(
+                flat.nbytes + offsets.nbytes
+                + (sources.nbytes if sources is not None else 0)
+                for (flat, offsets, sources, _), r in zip(decoded, results)
+                if not isinstance(r, PackedResult)
+            )
+            if raw_sent:
+                obs.counter_add("ipc.bytes_sent", raw_sent)
+                obs.counter_add("ipc.bytes_raw", raw_sent)
+        parts = [
+            RRRCollection(flat, offsets, self.graph.n, sources=sources, check=False)
+            for flat, offsets, sources, _ in decoded
+        ]
+        collection = RRRCollection.concat(parts)
+        if arena is not None:
+            collection = arena.adopt(collection)
+        trace = empty_trace()
+        for _, _, _, t in decoded:
+            trace = trace.merged_with(t)
         return collection, trace
 
     # -- supervision ---------------------------------------------------------
@@ -384,7 +556,7 @@ class SamplerPool:
         """In-process fallback for one job — bit-identical to the worker
         path, since the job's ``SeedSequence`` pins its stream and fault
         injection only ever fires inside worker processes."""
-        model, count, seed_seq, eliminate_sources, batch_size = job
+        model, count, seed_seq, eliminate_sources, batch_size, _pack = job
         from repro.rrr import get_sampler
 
         rng = np.random.Generator(np.random.PCG64(seed_seq))
@@ -413,29 +585,34 @@ class SamplerPool:
 
 
 # -- shared pool registry ----------------------------------------------------
-#: pools keyed by (graph fingerprint, n_jobs); one executor per key lives
-#: for the whole process, so sweeps over many (k, epsilon) cells share
-#: workers.  :func:`shutdown_pools` runs at interpreter exit (atexit) so
-#: resident executors can never leave orphaned workers behind.
-_POOLS: dict[tuple[str, int], SamplerPool] = {}
+#: pools keyed by (graph fingerprint, n_jobs, data plane); one executor per
+#: key lives for the whole process, so sweeps over many (k, epsilon) cells
+#: share workers.  :func:`shutdown_pools` runs at interpreter exit (atexit)
+#: so resident executors can never leave orphaned workers behind.
+_POOLS: dict[tuple[str, int, str], SamplerPool] = {}
 
 
-def shared_pool(graph: DirectedGraph, n_jobs: int) -> SamplerPool:
-    """The process-wide resident pool for ``(graph, n_jobs)``.
+def shared_pool(
+    graph: DirectedGraph, n_jobs: int, data_plane: Optional[str] = None
+) -> SamplerPool:
+    """The process-wide resident pool for ``(graph, n_jobs, data_plane)``.
 
     Keyed by content fingerprint, not object identity, so regenerated
     graph instances (e.g. out of ``ExperimentConfig``'s cache) land on
-    the same workers.  Entries whose pool has been closed are evicted
-    on lookup and replaced with a fresh pool.
+    the same workers.  The data plane resolves *before* keying, so
+    ``None``, the env default, and an explicit matching request all hit
+    the same pool.  Entries whose pool has been closed are evicted on
+    lookup and replaced with a fresh pool.
     """
-    key = (graph.fingerprint(), int(n_jobs))
+    plane = resolve_data_plane(data_plane)
+    key = (graph.fingerprint(), int(n_jobs), plane)
     pool = _POOLS.get(key)
     if pool is not None and pool.closed:
         _POOLS.pop(key, None)
         obs.counter_add("rrr.parallel.pool_evicted", 1)
         pool = None
     if pool is None:
-        pool = SamplerPool(graph, n_jobs)
+        pool = SamplerPool(graph, n_jobs, data_plane=plane)
         _POOLS[key] = pool
     return pool
 
@@ -463,6 +640,7 @@ def sample_rrr_parallel(
     batch_size: int = 16384,
     pool: Optional[SamplerPool] = None,
     resilience: Optional[ResilienceOptions] = None,
+    data_plane: Optional[str] = None,
 ) -> tuple[RRRCollection, SampleTrace]:
     """Sample ``num_sets`` RRR sets across ``n_jobs`` worker processes.
 
@@ -477,7 +655,7 @@ def sample_rrr_parallel(
     if n_jobs < 1:
         raise ValidationError("n_jobs must be >= 1")
     if pool is None:
-        pool = shared_pool(graph, n_jobs)
+        pool = shared_pool(graph, n_jobs, data_plane=data_plane)
     elif pool.n_jobs != n_jobs:
         raise ValidationError(
             f"pool has n_jobs={pool.n_jobs}, call requested {n_jobs}"

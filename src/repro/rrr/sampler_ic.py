@@ -47,7 +47,9 @@ def _reverse_bfs_batch(
     edges = np.zeros(batch, dtype=np.int64)
 
     while frontier_sid.size:
-        rounds[np.unique(frontier_sid)] += 1
+        # sets with a live frontier advance one round: a bincount mask
+        # instead of fancy-indexing through np.unique (no sort)
+        rounds += np.bincount(frontier_sid, minlength=batch) > 0
         starts = indptr[frontier_v]
         lengths = indptr[frontier_v + 1] - starts
         edge_idx = segmented_arange(starts, lengths)
@@ -62,11 +64,22 @@ def _reverse_bfs_batch(
             break
         c_keys = np.unique(c_keys)  # dedup within the round
         pos = np.searchsorted(visited, c_keys)
-        pos = np.minimum(pos, visited.size - 1)
-        new_keys = c_keys[visited[pos] != c_keys]
+        probe = np.minimum(pos, visited.size - 1)
+        is_new = visited[probe] != c_keys
+        new_keys = c_keys[is_new]
         if new_keys.size == 0:
             break
-        visited = np.sort(np.concatenate([visited, new_keys]))
+        # visited and new_keys are sorted and disjoint: scatter each new
+        # key at its insertion offset and stream the old array into the
+        # gaps — an O(|visited| + |new|) merge replacing the former
+        # O(total log total) concatenate-and-sort
+        target = pos[is_new] + np.arange(new_keys.size, dtype=np.int64)
+        merged = np.empty(visited.size + new_keys.size, dtype=np.int64)
+        merged[target] = new_keys
+        keep = np.ones(merged.size, dtype=bool)
+        keep[target] = False
+        merged[keep] = visited
+        visited = merged
         frontier_sid = new_keys // n
         frontier_v = new_keys % n
 

@@ -21,7 +21,14 @@ The identity of a stream is its :func:`store_key`:
 chunk_sets, batch_size)`` — everything that shapes either the draws or
 their consumption order.  :func:`shared_store` keeps one store per key
 for the whole process so sweep drivers (and user code) transparently
-share samples.
+share samples.  The data plane is *not* part of the key: planes are
+bit-identical by contract, so a store grown on one plane and topped up
+on the other still serves one coherent stream.
+
+On the ``shm`` data plane (:mod:`repro.shm`) a store with ``n_jobs>1``
+backs its chunks with a shared-memory :class:`~repro.shm.arena.ChunkArena`:
+packed worker payloads decode straight into arena segments, so the
+warm-start cache itself lives in shared pages rather than private heap.
 
 With a ``checkpoint_dir`` every completed chunk is persisted
 (:mod:`repro.resilience.checkpoint`), keyed by the same identity tuple:
@@ -33,6 +40,7 @@ resumed store is bit-identical to an uninterrupted one.
 
 from __future__ import annotations
 
+import atexit
 from pathlib import Path
 from typing import Optional
 
@@ -88,6 +96,7 @@ class RRRStore:
         batch_size: int = 16384,
         checkpoint_dir=None,
         resilience: Optional[ResilienceOptions] = None,
+        data_plane: Optional[str] = None,
     ):
         if graph.weights is None:
             raise ValidationError("RRRStore requires a weighted graph")
@@ -107,6 +116,12 @@ class RRRStore:
         self.chunk_sets = int(chunk_sets)
         self.batch_size = int(batch_size)
         self.resilience = resilience
+        from repro.shm.segments import resolve_data_plane
+
+        # operational knob like checkpoint_dir — planes are
+        # bit-identical, so it stays out of key()
+        self.data_plane = resolve_data_plane(data_plane)
+        self._arena = None  # lazy ChunkArena (shm plane, n_jobs > 1)
         if checkpoint_dir is None and resilience is not None:
             checkpoint_dir = resilience.checkpoint_dir
         # each store nests its own key-digest subdirectory, so one base
@@ -151,6 +166,16 @@ class RRRStore:
         seq = np.random.SeedSequence(self.entropy, spawn_key=(j,))
         return np.random.Generator(np.random.PCG64(seq))
 
+    def _ensure_arena(self):
+        """The shared-memory chunk arena (shm plane, fan-out only)."""
+        if self.data_plane != "shm" or self.n_jobs <= 1:
+            return None
+        if self._arena is None or self._arena.closed:
+            from repro.shm.arena import ChunkArena
+
+            self._arena = ChunkArena()
+        return self._arena
+
     def _sample_chunk(self, j: int) -> tuple[RRRCollection, SampleTrace]:
         rng = self._chunk_rng(j)
         count = self._chunk_size(j)
@@ -158,7 +183,9 @@ class RRRStore:
             if self._pool is None or self._pool.closed:
                 from repro.rrr.parallel import shared_pool
 
-                self._pool = shared_pool(self.graph, self.n_jobs)
+                self._pool = shared_pool(
+                    self.graph, self.n_jobs, data_plane=self.data_plane
+                )
             return self._pool.sample(
                 self.model,
                 count,
@@ -166,6 +193,7 @@ class RRRStore:
                 eliminate_sources=self.eliminate_sources,
                 batch_size=self.batch_size,
                 resilience=self.resilience,
+                arena=self._ensure_arena(),
             )
         from repro.rrr import get_sampler
 
@@ -176,6 +204,20 @@ class RRRStore:
             eliminate_sources=self.eliminate_sources,
             batch_size=self.batch_size,
         )
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Release the store's shared-memory arena (if any); idempotent.
+
+        Cached chunk *contents* become invalid after close — this is for
+        teardown (tests, :func:`clear_stores`), not mid-run trimming.
+        """
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
+        self._chunks = []
+        self._collection = None
+        self._trace = None
 
     # -- checkpointing -------------------------------------------------------
     def _load_checkpoint(self) -> None:
@@ -289,6 +331,7 @@ def shared_store(
     batch_size: int = 16384,
     checkpoint_dir=None,
     resilience: Optional[ResilienceOptions] = None,
+    data_plane: Optional[str] = None,
 ) -> RRRStore:
     """The process-wide :class:`RRRStore` for this stream identity.
 
@@ -296,12 +339,13 @@ def shared_store(
     return the same store, which is what turns the sweep's sampling cost
     from O(Σθᵢ) into O(max θᵢ).
 
-    ``checkpoint_dir`` / ``resilience`` are operational knobs, not part
-    of the stream identity: a cache hit keeps the first store's
-    configuration.  A cached store whose explicit pool has since been
-    closed is healed on lookup (its pool reference is dropped, so the
-    next top-up re-acquires a live :func:`shared_pool`) — stale registry
-    state can never serve a dead executor.
+    ``checkpoint_dir`` / ``resilience`` / ``data_plane`` are operational
+    knobs, not part of the stream identity: a cache hit keeps the first
+    store's configuration (the planes produce bit-identical sets, so the
+    stream is the same either way).  A cached store whose explicit pool
+    has since been closed is healed on lookup (its pool reference is
+    dropped, so the next top-up re-acquires a live :func:`shared_pool`)
+    — stale registry state can never serve a dead executor.
     """
     store = RRRStore(
         graph,
@@ -314,6 +358,7 @@ def shared_store(
         batch_size=batch_size,
         checkpoint_dir=checkpoint_dir,
         resilience=resilience,
+        data_plane=data_plane,
     )
     key = store.key()
     cached = _STORES.get(key)
@@ -328,5 +373,14 @@ def shared_store(
 
 
 def clear_stores() -> None:
-    """Drop every shared store (tests and memory-pressure relief)."""
+    """Drop every shared store, releasing their shared-memory arenas
+    (tests and memory-pressure relief)."""
+    for store in _STORES.values():
+        store.close()
     _STORES.clear()
+
+
+# like the pool registry's shutdown_pools hook: resident arenas must not
+# outlive the interpreter (the SegmentRegistry atexit backstop would catch
+# them, but eagerly closing here keeps the backstop a true last resort)
+atexit.register(clear_stores)

@@ -1,0 +1,54 @@
+"""``repro.shm`` — the zero-copy shared-memory data plane.
+
+Three pieces, mirroring the paper's memory story on the host side:
+
+* :mod:`repro.shm.graph` — the CSC graph published once into OS shared
+  memory and attached zero-copy by every sampler worker (the host
+  analogue of eIM's device-resident graph, §3.1);
+* :mod:`repro.shm.transport` — worker results travel bit-packed
+  (log-encoded IPC, the §3.1 encoding applied to the executor pipe);
+* :mod:`repro.shm.arena` — warm-start RRR chunks live in shared
+  segments the parent decodes worker payloads straight into.
+
+Everything rides the refcounted :class:`~repro.shm.segments.SegmentRegistry`
+(unlink-on-close, atexit backstop, resource-tracker silence) and falls
+back to the original pickle path wherever ``multiprocessing.shared_memory``
+is unavailable: ``options.data_plane`` / ``REPRO_DATA_PLANE`` /
+``--data-plane`` select ``"shm"`` (default when available) or
+``"pickle"``, with bit-identical output either way.
+"""
+
+from repro.shm.arena import ArenaChunk, ChunkArena
+from repro.shm.graph import (
+    SharedGraph,
+    SharedGraphHandle,
+    attach_graph,
+    attach_packed_csc,
+)
+from repro.shm.segments import (
+    ENV_VAR,
+    REGISTRY,
+    Segment,
+    SegmentRegistry,
+    attach_shared_memory,
+    resolve_data_plane,
+    shm_available,
+)
+from repro.shm.transport import PackedResult
+
+__all__ = [
+    "ArenaChunk",
+    "ChunkArena",
+    "ENV_VAR",
+    "PackedResult",
+    "REGISTRY",
+    "Segment",
+    "SegmentRegistry",
+    "SharedGraph",
+    "SharedGraphHandle",
+    "attach_graph",
+    "attach_packed_csc",
+    "attach_shared_memory",
+    "resolve_data_plane",
+    "shm_available",
+]

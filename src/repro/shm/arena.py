@@ -1,0 +1,161 @@
+"""Shared-memory chunk arena for the warm-start RRR store.
+
+A warm-start sweep keeps every sampled chunk alive for the lifetime of
+the process; with the pickle data plane those chunks are private heap
+arrays assembled through two copies (worker pickle -> parent parts ->
+``concat``).  The arena instead owns one shared-memory segment per
+chunk and has the parent *decode worker payloads directly into it*
+(:meth:`ChunkArena.merge_payloads`): the packed wire columns land in
+their final resting place, so the merged collection's ``flat`` /
+``offsets`` / ``sources`` arrays are zero-copy views over OS shared
+pages.  Checkpoint writes then stream straight from those views, and
+the resident bytes show up under the ``shm.bytes_resident`` gauge —
+the host-side analogue of keeping the RRR store ``R`` device-resident
+(§3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.rrr.collection import RRRCollection
+from repro.shm.segments import REGISTRY, Segment, SegmentRegistry
+from repro.shm.transport import PackedResult
+from repro.utils.errors import ValidationError
+
+
+class ArenaChunk:
+    """One chunk's arrays, laid out back to back in a single segment."""
+
+    __slots__ = ("flat", "offsets", "sources", "_segment")
+
+    def __init__(
+        self,
+        flat: np.ndarray,
+        offsets: np.ndarray,
+        sources: np.ndarray,
+        segment: Segment,
+    ):
+        self.flat = flat
+        self.offsets = offsets
+        self.sources = sources
+        self._segment = segment
+
+    def collection(self, n: int) -> RRRCollection:
+        """An :class:`RRRCollection` viewing (not copying) this chunk."""
+        return RRRCollection(
+            self.flat, self.offsets, n, sources=self.sources, check=False
+        )
+
+
+def _align8(nbytes: int) -> int:
+    return (nbytes + 7) & ~7
+
+
+class ChunkArena:
+    """Owner of the shared segments holding one store's chunks."""
+
+    def __init__(self, registry: Optional[SegmentRegistry] = None):
+        self._registry = registry if registry is not None else REGISTRY
+        self._segments: list[Segment] = []
+        self._closed = False
+
+    # -- allocation ----------------------------------------------------------
+    def allocate(self, flat_len: int, num_sets: int) -> ArenaChunk:
+        """One segment sized for ``flat_len`` elements over ``num_sets``
+        sets, partitioned into (offsets, sources, flat) views."""
+        if self._closed:
+            raise ValidationError("ChunkArena is closed")
+        off_bytes = _align8(8 * (num_sets + 1))
+        src_bytes = _align8(8 * num_sets)
+        flat_bytes = 4 * flat_len
+        segment = self._registry.create(off_bytes + src_bytes + flat_bytes, "chunk")
+        offsets = segment.view(np.int64, num_sets + 1, offset=0)
+        sources = segment.view(np.int64, num_sets, offset=off_bytes)
+        flat = segment.view(np.int32, flat_len, offset=off_bytes + src_bytes)
+        self._segments.append(segment)
+        obs.counter_add("shm.arena_chunk_bytes", segment.nbytes)
+        return ArenaChunk(flat, offsets, sources, segment)
+
+    # -- ingestion -----------------------------------------------------------
+    def merge_payloads(self, payloads: Sequence[PackedResult], n: int) -> ArenaChunk:
+        """Decode packed worker payloads straight into one arena chunk.
+
+        Each payload's flat / sizes / sources columns are unpacked into
+        their slice of the shared buffers; offsets are finished with a
+        single in-place cumsum.  No intermediate per-worker arrays, no
+        concat copy.
+        """
+        flat_len = sum(p.decode_sizes()[0] for p in payloads)
+        num_sets = sum(p.decode_sizes()[1] for p in payloads)
+        chunk = self.allocate(flat_len, num_sets)
+        chunk.offsets[0] = 0
+        sizes = chunk.offsets[1:]  # filled with sizes, then cumsum'd in place
+        flat_at = 0
+        set_at = 0
+        for payload in payloads:
+            p_flat, p_sets = payload.decode_sizes()
+            payload.decode_into(
+                flat_out=chunk.flat[flat_at : flat_at + p_flat],
+                sizes_out=sizes[set_at : set_at + p_sets],
+                sources_out=chunk.sources[set_at : set_at + p_sets],
+            )
+            flat_at += p_flat
+            set_at += p_sets
+        np.cumsum(sizes, out=sizes)
+        return chunk
+
+    def adopt(self, collection: RRRCollection) -> RRRCollection:
+        """Move an existing collection's arrays into the arena (one copy).
+
+        Fallback used when a chunk arrived through the raw path (serial
+        sampling, degraded jobs): the arena still becomes the owner so
+        residency accounting and lifecycle stay uniform.
+        """
+        chunk = self.allocate(collection.flat.size, collection.num_sets)
+        chunk.flat[:] = collection.flat
+        chunk.offsets[:] = collection.offsets
+        if collection.sources is not None:
+            chunk.sources[:] = collection.sources
+            sources = chunk.sources
+        else:
+            sources = None
+        return RRRCollection(
+            chunk.flat, chunk.offsets, collection.n, sources=sources, check=False
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def nbytes(self) -> int:
+        return sum(s.nbytes for s in self._segments)
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self._segments)
+
+    def close(self) -> None:
+        """Unlink every chunk segment; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for segment in self._segments:
+            self._registry.release(segment)
+        self._segments = []
+
+    def __del__(self):
+        # Backstop for arenas whose owner (an RRRStore) was dropped
+        # without close(): without this, the registry's strong refs keep
+        # the chunk segments resident until atexit.  Any collection
+        # views already handed out stay valid — close() unlinks names
+        # but defers the unmap to view GC.
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass

@@ -1,0 +1,273 @@
+"""The CSC graph published once into shared memory, attached zero-copy.
+
+eIM keeps the graph resident on the device for the lifetime of a run
+(§3.1); the host data plane mirrors that: :class:`SharedGraph` copies
+the CSC arrays (``indptr`` / ``indices`` / ``weights``) into OS
+shared-memory segments exactly once, and every worker process attaches
+the same physical pages through a :class:`SharedGraphHandle` — a tiny
+picklable descriptor of segment names and array specs.  With ``n_jobs``
+workers the graph therefore occupies one copy of physical memory
+instead of ``n_jobs + 1`` (the pickled-initializer baseline), and an
+executor rebuild after a worker crash re-attaches in microseconds
+instead of re-shipping megabytes.
+
+The log-encoded variants (§3.1's packed CSC, via
+:mod:`repro.encoding`) can ride in the same segments:
+:meth:`SharedGraph.publish_encoded` packs offsets and neighbor ids at
+``bit_length(m)`` / ``bit_length(n-1)`` bits and publishes the packed
+words, so attach-side consumers (benchmarks, future device shims) can
+map the compressed graph without their own copy either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro import obs
+from repro.encoding.bitpack import PackedArray, pack, required_bits
+from repro.graphs.csc import DirectedGraph
+from repro.shm.segments import (
+    REGISTRY,
+    Segment,
+    SegmentRegistry,
+    attach_shared_memory,
+    quiet_close,
+)
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Where one ndarray lives inside a named segment."""
+
+    segment: str
+    dtype: str
+    count: int
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class PackedSpec:
+    """Where one bit-packed array's container words live."""
+
+    segment: str
+    dtype: str
+    words: int
+    n_bits: int
+    count: int
+    container_bits: int
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class SharedGraphHandle:
+    """Picklable descriptor a worker turns back into a graph, zero-copy.
+
+    Holds only names and shapes — pickling a handle costs a few hundred
+    bytes no matter how large the graph is.
+    """
+
+    n: int
+    m: int
+    fingerprint: str
+    indptr: ArraySpec
+    indices: ArraySpec
+    weights: Optional[ArraySpec]
+    packed_offsets: Optional[PackedSpec] = None
+    packed_neighbors: Optional[PackedSpec] = None
+
+
+class _Attachment:
+    """Worker-side bundle keeping the attached segments alive."""
+
+    __slots__ = ("graph", "handle", "_shms")
+
+    def __init__(self, graph: DirectedGraph, handle: SharedGraphHandle, shms):
+        self.graph = graph
+        self.handle = handle
+        self._shms = shms
+
+    def close(self) -> None:
+        for shm in self._shms:
+            quiet_close(shm)
+        self._shms = []
+
+
+def _spec_view(spec: ArraySpec, shm) -> np.ndarray:
+    return np.frombuffer(
+        shm.buf, dtype=np.dtype(spec.dtype), count=spec.count, offset=spec.offset
+    )
+
+
+def attach_graph(handle: SharedGraphHandle) -> _Attachment:
+    """Map the published segments and rebuild the :class:`DirectedGraph`.
+
+    The returned graph's arrays are views straight over the shared
+    pages; construction validates nothing beyond shape bookkeeping (the
+    publisher validated the real graph) and copies nothing.
+    """
+    shms = {}
+
+    def shm_for(name: str):
+        if name not in shms:
+            shms[name] = attach_shared_memory(name)
+        return shms[name]
+
+    indptr = _spec_view(handle.indptr, shm_for(handle.indptr.segment))
+    indices = _spec_view(handle.indices, shm_for(handle.indices.segment))
+    weights = None
+    if handle.weights is not None:
+        weights = _spec_view(handle.weights, shm_for(handle.weights.segment))
+    graph = DirectedGraph.__new__(DirectedGraph)
+    graph.indptr = indptr
+    graph.indices = indices
+    graph.weights = weights
+    graph.n = handle.n
+    graph.m = handle.m
+    graph._csr_cache = None
+    graph._cumw_cache = None
+    graph._total_in_weight = None
+    graph._fingerprint = handle.fingerprint
+    return _Attachment(graph, handle, list(shms.values()))
+
+
+class PackedCSCAttachment:
+    """Attach-side view of the log-encoded CSC arrays (§3.1)."""
+
+    __slots__ = ("offsets", "neighbors", "_shms")
+
+    def __init__(self, offsets: PackedArray, neighbors: PackedArray, shms):
+        self.offsets = offsets
+        self.neighbors = neighbors
+        self._shms = shms
+
+    def close(self) -> None:
+        for shm in self._shms:
+            quiet_close(shm)
+        self._shms = []
+
+
+def attach_packed_csc(handle: SharedGraphHandle) -> PackedCSCAttachment:
+    """Map the log-encoded CSC arrays published alongside the raw ones.
+
+    Requires :meth:`SharedGraph.publish_encoded` to have run before the
+    handle was taken.
+    """
+    if handle.packed_offsets is None or handle.packed_neighbors is None:
+        raise ValidationError("handle carries no log-encoded CSC segments")
+    arrays, shms = [], []
+    for spec in (handle.packed_offsets, handle.packed_neighbors):
+        shm = attach_shared_memory(spec.segment)
+        shms.append(shm)
+        words = np.frombuffer(
+            shm.buf, dtype=np.dtype(spec.dtype), count=spec.words, offset=spec.offset
+        )
+        arrays.append(PackedArray(words, spec.n_bits, spec.count, spec.container_bits))
+    return PackedCSCAttachment(arrays[0], arrays[1], shms)
+
+
+class SharedGraph:
+    """Publisher-side owner of one graph's shared segments.
+
+    Created by the first :class:`~repro.rrr.parallel.SamplerPool`
+    executor start; survives executor rebuilds (the whole point — a
+    rebuild hands workers the *same* handle); unlinked by
+    :meth:`close` when the pool dies.
+    """
+
+    def __init__(
+        self, graph: DirectedGraph, registry: Optional[SegmentRegistry] = None
+    ):
+        self._registry = registry if registry is not None else REGISTRY
+        self._segments: list[Segment] = []
+        self._closed = False
+        self._packed_offsets: Optional[PackedSpec] = None
+        self._packed_neighbors: Optional[PackedSpec] = None
+        self.n = graph.n
+        self.m = graph.m
+        self._fingerprint = graph.fingerprint()
+        with obs.span("shm.graph.publish"):
+            self._indptr = self._publish_array(graph.indptr, "gidp")
+            self._indices = self._publish_array(graph.indices, "gidx")
+            self._weights = (
+                None
+                if graph.weights is None
+                else self._publish_array(graph.weights, "gw")
+            )
+        obs.counter_add("shm.graph_published_bytes", self.nbytes)
+
+    def _publish_array(self, array: np.ndarray, tag: str) -> ArraySpec:
+        array = np.ascontiguousarray(array)
+        segment = self._registry.create(array.nbytes, tag)
+        segment.view(array.dtype, array.size)[:] = array
+        self._segments.append(segment)
+        return ArraySpec(segment.name, array.dtype.str, array.size)
+
+    def _publish_packed(self, packed: PackedArray, tag: str) -> PackedSpec:
+        words = np.ascontiguousarray(packed.words)
+        segment = self._registry.create(words.nbytes, tag)
+        segment.view(words.dtype, words.size)[:] = words
+        self._segments.append(segment)
+        return PackedSpec(
+            segment.name,
+            words.dtype.str,
+            words.size,
+            packed.n_bits,
+            packed.count,
+            packed.container_bits,
+        )
+
+    # -- encoded variant -----------------------------------------------------
+    def publish_encoded(self, graph: DirectedGraph) -> None:
+        """Also publish the §3.1 log-encoded CSC arrays (idempotent)."""
+        if self._closed:
+            raise ValidationError("SharedGraph is closed")
+        if self._packed_offsets is not None:
+            return
+        with obs.span("shm.graph.publish_encoded"):
+            o_bits = required_bits(max(graph.m, 1))
+            r_bits = required_bits(max(graph.n - 1, 0))
+            self._packed_offsets = self._publish_packed(
+                pack(graph.indptr, n_bits=o_bits), "gpo"
+            )
+            self._packed_neighbors = self._publish_packed(
+                pack(graph.indices, n_bits=r_bits), "gpn"
+            )
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes across every published segment."""
+        return sum(s.nbytes for s in self._segments)
+
+    def handle(self) -> SharedGraphHandle:
+        """The descriptor workers attach through (reflects segments
+        published so far)."""
+        if self._closed:
+            raise ValidationError("SharedGraph is closed")
+        return SharedGraphHandle(
+            n=self.n,
+            m=self.m,
+            fingerprint=self._fingerprint,
+            indptr=self._indptr,
+            indices=self._indices,
+            weights=self._weights,
+            packed_offsets=self._packed_offsets,
+            packed_neighbors=self._packed_neighbors,
+        )
+
+    def close(self) -> None:
+        """Unlink every segment this graph published; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for segment in self._segments:
+            self._registry.release(segment)
+        self._segments = []

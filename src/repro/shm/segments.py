@@ -1,0 +1,257 @@
+"""Refcounted OS shared-memory segments for the zero-copy data plane.
+
+Every segment of the data plane — the published CSC graph arrays, the
+warm-start chunk arena — goes through one process-wide
+:class:`SegmentRegistry`.  The registry is the single owner of segment
+*names*: it creates them, hands out attach-side views, counts the bytes
+resident, and guarantees that everything it created is unlinked exactly
+once — on :meth:`SegmentRegistry.close_all`, at interpreter exit
+(``atexit``), or when the owning pool/store closes.  That discipline is
+what keeps ``multiprocessing.resource_tracker`` silent: the tracker
+warns about (and force-unlinks) any segment still registered at
+shutdown, so the rule here is *create registers once, unlink
+unregisters once, attaches never register at all*.
+
+Attach-side care: on CPython < 3.13 ``SharedMemory(name=...)``
+re-registers the segment with the resource tracker (bpo-39959).  In
+every topology this data plane runs — same-process attach, fork
+workers, spawn workers (the tracker *fd* is passed to spawn children,
+so even they share the creator's tracker) — that registration lands in
+the same tracker's set, where re-adding an existing name is a no-op:
+the creator's single unlink-time unregister leaves the set clean.
+:func:`attach_shared_memory` therefore passes ``track=False`` where
+supported (3.13+) and otherwise deliberately does NOT unregister: an
+attach-side unregister would strip the creator's entry from the shared
+set and turn the creator's own unregister into a tracker ``KeyError``.
+
+Close-side care: ``SharedMemory.close`` raises ``BufferError`` while
+NumPy views over the mapping are alive.  Unlinking does not — the name
+disappears from ``/dev/shm`` immediately and the mapping survives until
+the last view is garbage collected.  :meth:`Segment.close` therefore
+always unlinks (the leak-proofness guarantee) and merely *attempts* the
+munmap, deferring it to GC when views are still outstanding.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import threading
+from typing import Optional
+
+import numpy as np
+
+from repro import obs
+from repro.utils.errors import ValidationError
+
+try:  # pragma: no cover - exercised via shm_available()
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - platforms without shm support
+    _shared_memory = None
+
+#: data-plane selector environment variable (``pickle`` | ``shm``)
+ENV_VAR = "REPRO_DATA_PLANE"
+
+_DATA_PLANES = ("pickle", "shm")
+
+
+def quiet_close(shm) -> None:
+    """Close a ``SharedMemory`` mapping without ever raising or warning.
+
+    While NumPy views over the mapping are alive, ``close`` raises
+    ``BufferError`` — and would raise it *again*, as an "Exception
+    ignored" message, when the object's ``__del__`` retries.  In that
+    case the instance's ``close`` is disarmed and the mapping is left
+    to the OS: the segment is already (or about to be) unlinked, so
+    nothing leaks past process exit.
+    """
+    try:
+        shm.close()
+    except BufferError:
+        shm.close = lambda: None
+    except Exception:  # pragma: no cover - already-closed mappings
+        pass
+
+
+def attach_shared_memory(name: str):
+    """Attach to an existing segment without adopting unlink duty.
+
+    The returned object must be ``close()``d (never ``unlink()``ed) by
+    the attaching process; the registry that created the segment owns
+    its name.
+    """
+    if _shared_memory is None:  # pragma: no cover
+        raise ValidationError("multiprocessing.shared_memory is unavailable")
+    try:
+        return _shared_memory.SharedMemory(name=name, track=False)  # 3.13+
+    except TypeError:
+        pass
+    # < 3.13: the attach re-registers the name, but with the tracker
+    # shared across the whole worker tree (fork AND spawn inherit the
+    # tracker fd) that is a set no-op — see the module docstring for why
+    # unregistering here would be actively wrong
+    return _shared_memory.SharedMemory(name=name)
+
+
+class Segment:
+    """One shared-memory segment plus the views handed out over it."""
+
+    __slots__ = ("name", "nbytes", "tag", "_shm", "_owner", "_closed")
+
+    def __init__(self, shm, nbytes: int, tag: str, owner: bool):
+        self._shm = shm
+        self.name = shm.name
+        self.nbytes = int(nbytes)
+        self.tag = tag
+        self._owner = owner
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def view(self, dtype, shape, offset: int = 0) -> np.ndarray:
+        """A zero-copy ndarray over ``[offset, offset + size)`` bytes.
+
+        The array's buffer *is* the shared mapping — no bytes are
+        duplicated, and writes are visible to every process attached to
+        the segment.
+        """
+        if self._closed:
+            raise ValidationError(f"segment {self.name} is closed")
+        dtype = np.dtype(dtype)
+        count = int(np.prod(shape)) if not np.isscalar(shape) else int(shape)
+        arr = np.frombuffer(
+            self._shm.buf, dtype=dtype, count=count, offset=int(offset)
+        )
+        return arr.reshape(shape) if not np.isscalar(shape) else arr
+
+    def close(self) -> None:
+        """Unlink (if owner) and try to unmap; idempotent.
+
+        The unlink always happens — that is the no-leak guarantee — but
+        the unmap is best-effort: live NumPy views export the buffer, in
+        which case the mapping is released when they are collected.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+            except Exception:  # pragma: no cover - platform oddities
+                pass
+        quiet_close(self._shm)
+
+
+class SegmentRegistry:
+    """Process-wide ledger of every data-plane segment this process owns."""
+
+    def __init__(self):
+        self._segments: dict[str, Segment] = {}
+        self._lock = threading.Lock()
+
+    # -- accounting ----------------------------------------------------------
+    @property
+    def active_count(self) -> int:
+        return len(self._segments)
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(s.nbytes for s in self._segments.values())
+
+    def _publish_gauges(self) -> None:
+        obs.gauge_set("shm.segments_active", self.active_count)
+        obs.gauge_set("shm.bytes_resident", self.resident_bytes)
+
+    # -- lifecycle -----------------------------------------------------------
+    def create(self, nbytes: int, tag: str = "seg") -> Segment:
+        """Create and register a new segment of ``nbytes`` bytes."""
+        if _shared_memory is None:  # pragma: no cover
+            raise ValidationError("multiprocessing.shared_memory is unavailable")
+        nbytes = max(int(nbytes), 1)  # zero-byte segments are not portable
+        name = f"repro-{tag}-{os.getpid():x}-{secrets.token_hex(4)}"
+        shm = _shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+        segment = Segment(shm, nbytes, tag, owner=True)
+        with self._lock:
+            self._segments[segment.name] = segment
+            self._publish_gauges()
+        obs.counter_add("shm.segments_created", 1)
+        return segment
+
+    def release(self, segment: Segment) -> None:
+        """Close one segment and drop it from the ledger; idempotent."""
+        with self._lock:
+            self._segments.pop(segment.name, None)
+            self._publish_gauges()
+        segment.close()
+
+    def close_all(self) -> None:
+        """Unlink every owned segment (tests, atexit backstop)."""
+        with self._lock:
+            segments = list(self._segments.values())
+            self._segments.clear()
+            self._publish_gauges()
+        for segment in segments:
+            segment.close()
+
+
+#: the default process-wide registry every data-plane component uses
+REGISTRY = SegmentRegistry()
+
+# Backstop only: pools and stores unlink their own segments on close,
+# but a hard exit in between must not leave names in /dev/shm.
+atexit.register(REGISTRY.close_all)
+
+
+# -- availability and plane resolution ---------------------------------------
+_AVAILABLE: Optional[bool] = None
+
+
+def shm_available() -> bool:
+    """Whether OS shared memory actually works here (probed once).
+
+    Some sandboxes ship the module but refuse segment creation; the
+    probe creates and unlinks a minimal segment so the answer reflects
+    reality, not just importability.
+    """
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        if _shared_memory is None:
+            _AVAILABLE = False
+        else:
+            try:
+                probe = _shared_memory.SharedMemory(create=True, size=16)
+                probe.close()
+                probe.unlink()
+                _AVAILABLE = True
+            except Exception:
+                _AVAILABLE = False
+    return _AVAILABLE
+
+
+def resolve_data_plane(value: Optional[str] = None) -> str:
+    """Resolve a data-plane request to the plane that will actually run.
+
+    Precedence: explicit ``value`` > ``REPRO_DATA_PLANE`` > default
+    (``shm`` when available).  A ``shm`` request degrades gracefully to
+    ``pickle`` when shared memory is unavailable — the fallback is
+    counted (``shm.fallbacks``) rather than raised, because the two
+    planes are bit-identical in output.
+    """
+    if value is None:
+        value = os.environ.get(ENV_VAR) or None
+    if value is None:
+        return "shm" if shm_available() else "pickle"
+    plane = str(value).strip().lower()
+    if plane not in _DATA_PLANES:
+        raise ValidationError(
+            f"unknown data plane {value!r}; choose one of {_DATA_PLANES}"
+        )
+    if plane == "shm" and not shm_available():
+        obs.counter_add("shm.fallbacks", 1)
+        return "pickle"
+    return plane

@@ -1,0 +1,191 @@
+"""Log-encoded IPC: workers ship RRR payloads bit-packed, not pickled raw.
+
+The paper's log encoding (§3.1, Fig. 1) shrinks any non-negative int
+array to ``bit_length(x_max)`` bits per element.  The host pipeline's
+dominant IPC cost has exactly that shape: a worker's result is the flat
+RRR array (vertex ids < n), per-set sizes, per-set sources (< n), and
+the per-attempt trace columns — all small-integer arrays that the
+pickle path ships at 4 or 8 bytes per element.  :class:`PackedResult`
+packs each column at its own width (and the kept mask at 1 bit) so the
+bytes crossing the executor pipe drop by the same ~50-90% the paper's
+Fig. 4 reports for the device store.
+
+The encoding is exact (pack/unpack of non-negative ints is lossless)
+and the offsets array is reconstructed as ``cumsum(sizes)`` — byte for
+byte the expression that built it worker-side — so the parent-side
+decode is bit-identical to the raw path, which is what keeps the two
+data planes interchangeable mid-run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoding.bitpack import pack, unpack_words
+from repro.rrr.trace import SampleTrace
+
+#: pickled-bytes overhead of one PackedResult beyond its buffers
+#: (object header, field tuples; measured, rounded up — accounting only)
+_HEADER_OVERHEAD = 512
+
+
+def _pack_array(values: np.ndarray) -> tuple:
+    """Pack one non-negative int column into a picklable field tuple."""
+    vals = np.asarray(values, dtype=np.int64).ravel()
+    max_val = int(vals.max()) if vals.size else 0
+    container_bits = 64 if max_val.bit_length() > 32 else 32
+    packed = pack(vals, container_bits=container_bits)
+    return (
+        packed.words.tobytes(),
+        packed.n_bits,
+        packed.count,
+        packed.container_bits,
+    )
+
+
+def _unpack_array(field: tuple, out: np.ndarray | None = None) -> np.ndarray:
+    buf, n_bits, count, container_bits = field
+    dtype = np.uint32 if container_bits == 32 else np.uint64
+    words = np.frombuffer(buf, dtype=dtype)
+    return unpack_words(words, n_bits, count, container_bits, out=out)
+
+
+def _field_nbytes(field: tuple) -> int:
+    return len(field[0])
+
+
+class PackedResult:
+    """One worker job's RRR payload in packed wire form.
+
+    Pickles to roughly ``nbytes_packed`` bytes; :meth:`decode` restores
+    the exact ``(flat, offsets, sources, trace)`` tuple the raw path
+    would have shipped.
+    """
+
+    __slots__ = (
+        "n",
+        "num_sets",
+        "flat_field",
+        "sizes_field",
+        "sources_field",
+        "trace_sizes_field",
+        "trace_rounds_field",
+        "trace_edges_field",
+        "trace_sources_field",
+        "kept_bits",
+        "attempted",
+        "raw_singletons",
+    )
+
+    def __init__(self, **fields):
+        for name in self.__slots__:
+            setattr(self, name, fields[name])
+
+    # pickle support for __slots__-only classes
+    def __getstate__(self):
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __setstate__(self, state):
+        for name, value in zip(self.__slots__, state):
+            setattr(self, name, value)
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def encode(
+        cls,
+        flat: np.ndarray,
+        offsets: np.ndarray,
+        sources: np.ndarray,
+        trace: SampleTrace,
+        n: int,
+    ) -> "PackedResult":
+        sizes = np.diff(np.asarray(offsets, dtype=np.int64))
+        return cls(
+            n=int(n),
+            num_sets=int(sizes.size),
+            flat_field=_pack_array(flat),
+            sizes_field=_pack_array(sizes),
+            sources_field=_pack_array(sources),
+            trace_sizes_field=_pack_array(trace.sizes),
+            trace_rounds_field=_pack_array(trace.rounds),
+            trace_edges_field=_pack_array(trace.edges_examined),
+            trace_sources_field=_pack_array(trace.sources),
+            kept_bits=np.packbits(
+                np.asarray(trace.kept_mask, dtype=bool)
+            ).tobytes(),
+            attempted=int(trace.kept_mask.size),
+            raw_singletons=int(trace.raw_singletons),
+        )
+
+    # -- accounting ----------------------------------------------------------
+    @property
+    def nbytes_packed(self) -> int:
+        """Approximate bytes this payload costs on the wire."""
+        return (
+            sum(
+                _field_nbytes(getattr(self, name))
+                for name in self.__slots__
+                if name.endswith("_field")
+            )
+            + len(self.kept_bits)
+            + _HEADER_OVERHEAD
+        )
+
+    @property
+    def nbytes_raw(self) -> int:
+        """Bytes the raw (pickle-path) payload would have cost."""
+        flat_count = self.flat_field[2]
+        return (
+            4 * flat_count  # flat int32
+            + 8 * (self.num_sets + 1)  # offsets int64
+            + 8 * self.num_sets  # sources int64
+            + 3 * 8 * self.attempted  # trace sizes/rounds/edges int64
+            + 8 * self.attempted  # trace sources int64
+            + self.attempted  # kept mask bool
+        )
+
+    # -- decode --------------------------------------------------------------
+    def decode_sizes(self) -> tuple[int, int]:
+        """``(total flat elements, num_sets)`` without decoding payloads —
+        what the arena needs to pre-size a merged chunk."""
+        return self.flat_field[2], self.num_sets
+
+    def decode_into(
+        self,
+        flat_out: np.ndarray | None = None,
+        sizes_out: np.ndarray | None = None,
+        sources_out: np.ndarray | None = None,
+    ) -> SampleTrace:
+        """Decode flat/sizes/sources into caller buffers; return the trace.
+
+        The zero-copy merge path: the parent sizes one arena chunk from
+        the payload headers and every worker's columns decode straight
+        into their slice of it.
+        """
+        _unpack_array(self.flat_field, out=flat_out)
+        _unpack_array(self.sizes_field, out=sizes_out)
+        _unpack_array(self.sources_field, out=sources_out)
+        return self.decode_trace()
+
+    def decode_trace(self) -> SampleTrace:
+        """Only the per-attempt trace columns (data columns untouched)."""
+        kept = np.unpackbits(
+            np.frombuffer(self.kept_bits, dtype=np.uint8), count=self.attempted
+        ).astype(bool)
+        return SampleTrace(
+            sizes=_unpack_array(self.trace_sizes_field),
+            rounds=_unpack_array(self.trace_rounds_field),
+            edges_examined=_unpack_array(self.trace_edges_field),
+            kept_mask=kept,
+            raw_singletons=self.raw_singletons,
+            sources=_unpack_array(self.trace_sources_field),
+        )
+
+    def decode(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, SampleTrace]:
+        """The exact raw-path worker tuple: (flat, offsets, sources, trace)."""
+        flat = np.empty(self.flat_field[2], dtype=np.int32)
+        sizes = np.empty(self.num_sets, dtype=np.int64)
+        sources = np.empty(self.num_sets, dtype=np.int64)
+        trace = self.decode_into(flat, sizes, sources)
+        offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+        return flat, offsets, sources, trace

@@ -1,0 +1,236 @@
+"""End-to-end data-plane contract: shm and pickle are interchangeable.
+
+Three pillars: bit-identity (seeds, RRR sets and traces match across
+planes, across ``n_jobs``, and under fault injection), lifecycle (every
+shared segment is unlinked after pool close, crash recovery, and store
+teardown) and graceful fallback (``REPRO_DATA_PLANE=pickle`` routes the
+whole stack through the classic path).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.imm import IMMOptions, run_imm
+from repro.resilience.faults import ENV_VAR as FAULTS_ENV
+from repro.rrr.parallel import SamplerPool, sample_rrr_parallel, shutdown_pools
+from repro.rrr.store import RRRStore, clear_stores, shared_store
+from repro.shm import ENV_VAR, REGISTRY, shm_available
+from repro.utils.errors import ValidationError
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="OS shared memory unavailable"
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_plane(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    # resident pools/stores from earlier test modules legitimately keep
+    # their published graph segments alive; drain them so the registry
+    # assertions here start from (and must return to) zero
+    shutdown_pools()
+    clear_stores()
+    yield
+    shutdown_pools()
+    clear_stores()
+
+
+def _assert_identical(a, b):
+    coll_a, trace_a = a
+    coll_b, trace_b = b
+    assert np.array_equal(coll_a.flat, coll_b.flat)
+    assert np.array_equal(coll_a.offsets, coll_b.offsets)
+    assert np.array_equal(coll_a.sources, coll_b.sources)
+    assert np.array_equal(trace_a.sizes, trace_b.sizes)
+    assert np.array_equal(trace_a.rounds, trace_b.rounds)
+    assert np.array_equal(trace_a.edges_examined, trace_b.edges_examined)
+    assert np.array_equal(trace_a.kept_mask, trace_b.kept_mask)
+    assert np.array_equal(trace_a.sources, trace_b.sources)
+    assert trace_a.raw_singletons == trace_b.raw_singletons
+
+
+@pytest.mark.parametrize("n_jobs", [2, 3])
+def test_planes_bit_identical(small_ic_graph, n_jobs):
+    def run(plane):
+        with SamplerPool(small_ic_graph, n_jobs, data_plane=plane) as pool:
+            assert pool.data_plane == plane
+            return pool.sample("IC", 240, rng=np.random.default_rng(17))
+
+    _assert_identical(run("pickle"), run("shm"))
+    assert REGISTRY.active_count == 0
+
+
+def test_planes_bit_identical_lt_with_elimination(small_lt_graph):
+    def run(plane):
+        with SamplerPool(small_lt_graph, 2, data_plane=plane) as pool:
+            return pool.sample(
+                "LT", 200, rng=np.random.default_rng(5), eliminate_sources=True
+            )
+
+    _assert_identical(run("pickle"), run("shm"))
+
+
+def test_env_fallback_routes_pickle(small_ic_graph, monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "pickle")
+    with SamplerPool(small_ic_graph, 2) as pool:
+        assert pool.data_plane == "pickle"
+        pool.sample("IC", 100, rng=np.random.default_rng(1))
+        assert pool._shared_graph is None
+    assert REGISTRY.active_count == 0
+
+
+def test_pool_close_unlinks_graph_segments(small_ic_graph):
+    pool = SamplerPool(small_ic_graph, 2, data_plane="shm")
+    pool.sample("IC", 100, rng=np.random.default_rng(2))
+    assert REGISTRY.active_count > 0  # published graph arrays
+    pool.close()
+    assert REGISTRY.active_count == 0
+
+
+def test_crash_recovery_reattaches_and_matches(small_ic_graph, monkeypatch):
+    clean_pool = SamplerPool(small_ic_graph, 2, data_plane="shm")
+    clean = clean_pool.sample("IC", 240, rng=np.random.default_rng(3))
+    clean_pool.close()
+
+    monkeypatch.setenv(FAULTS_ENV, "crash@0#0")
+    handle = obs.install()
+    try:
+        pool = SamplerPool(small_ic_graph, 2, data_plane="shm")
+        faulted = pool.sample("IC", 240, rng=np.random.default_rng(3))
+        report = faulted[1].resilience
+        assert report is not None and report.rebuilds >= 1
+        # the rebuild re-attached the published segments, no re-publish
+        assert handle.metrics.counters.get("shm.graph_reattached", 0) >= 1
+        assert handle.metrics.counters.get("rrr.parallel.rebuild_attach_seconds", 0) > 0
+        pool.close()
+    finally:
+        obs.uninstall()
+    _assert_identical(clean, faulted)
+    assert REGISTRY.active_count == 0
+
+
+def test_abandoned_executor_leaves_no_segments(small_ic_graph):
+    """The KeyboardInterrupt path: abandon (terminate) then close."""
+    pool = SamplerPool(small_ic_graph, 2, data_plane="shm")
+    pool.sample("IC", 100, rng=np.random.default_rng(4))
+    pool._abandon_executor(terminate=True)
+    pool.close()
+    assert REGISTRY.active_count == 0
+
+
+def test_store_arena_parity_and_teardown(small_ic_graph):
+    def run(plane):
+        store = RRRStore(
+            small_ic_graph, entropy=9, n_jobs=2, chunk_sets=64, data_plane=plane
+        )
+        try:
+            return store.ensure(150), store
+        finally:
+            pass
+
+    (out_shm, store_shm) = run("shm")
+    assert store_shm._arena is not None and store_shm._arena.num_chunks > 0
+    (out_pickle, store_pickle) = run("pickle")
+    assert store_pickle._arena is None
+    coll_a, coll_b = out_shm[0], out_pickle[0]
+    assert np.array_equal(coll_a.flat, coll_b.flat)
+    assert np.array_equal(coll_a.offsets, coll_b.offsets)
+    assert np.array_equal(coll_a.sources, coll_b.sources)
+    store_shm.close()
+    store_pickle.close()
+    shutdown_pools()
+    assert REGISTRY.active_count == 0
+
+
+def test_clear_stores_closes_arenas(small_ic_graph):
+    store = shared_store(
+        small_ic_graph, entropy=21, n_jobs=2, chunk_sets=64, data_plane="shm"
+    )
+    store.ensure(100)
+    assert store._arena is not None
+    clear_stores()
+    assert store._arena is None
+    shutdown_pools()
+    assert REGISTRY.active_count == 0
+
+
+def test_run_imm_parity_across_planes(small_ic_graph):
+    def run(plane):
+        result = run_imm(
+            small_ic_graph,
+            5,
+            0.3,
+            rng=13,
+            options=IMMOptions(n_jobs=2, data_plane=plane),
+        )
+        shutdown_pools()
+        return result
+
+    a, b = run("pickle"), run("shm")
+    assert np.array_equal(a.seeds, b.seeds)
+    assert a.theta == b.theta
+    assert REGISTRY.active_count == 0
+
+
+def test_immoptions_validates_plane():
+    assert IMMOptions(data_plane="SHM").data_plane == "shm"
+    assert IMMOptions(data_plane=None).data_plane is None
+    with pytest.raises(ValidationError):
+        IMMOptions(data_plane="mmap")
+
+
+def test_experiment_config_plane(monkeypatch):
+    from repro.experiments.config import ExperimentConfig
+
+    monkeypatch.setenv(ENV_VAR, "pickle")
+    assert ExperimentConfig.from_env().data_plane == "pickle"
+    monkeypatch.delenv(ENV_VAR)
+    assert ExperimentConfig.from_env().data_plane is None
+    with pytest.raises(ValidationError):
+        ExperimentConfig(data_plane="mmap")
+
+
+def test_functional_frontend_accepts_plane(small_ic_graph):
+    a, _ = sample_rrr_parallel(
+        small_ic_graph, 200, rng=8, n_jobs=2, data_plane="pickle"
+    )
+    b, _ = sample_rrr_parallel(
+        small_ic_graph, 200, rng=8, n_jobs=2, data_plane="shm"
+    )
+    assert np.array_equal(a.flat, b.flat)
+    assert np.array_equal(a.offsets, b.offsets)
+
+
+def test_spawn_context_attach_is_tracker_clean(small_ic_graph, capfd):
+    """Spawn workers share the creator's resource tracker (the fd is
+    passed at spawn); an attach there must not unregister the creator's
+    entry — the regression mode is a tracker-process KeyError traceback
+    on stderr when the pool unlinks its segments."""
+    with SamplerPool(small_ic_graph, 2, data_plane="shm", mp_context="spawn") as pool:
+        a = pool.sample("IC", 120, rng=np.random.default_rng(31))
+        assert a[1].resilience is None or a[1].resilience.clean
+    with SamplerPool(small_ic_graph, 2, data_plane="shm") as pool:
+        b = pool.sample("IC", 120, rng=np.random.default_rng(31))
+    _assert_identical(a, b)
+    assert REGISTRY.active_count == 0
+    err = capfd.readouterr().err
+    assert "KeyError" not in err
+    assert "leaked shared_memory" not in err
+
+
+def test_ipc_counters_published(small_ic_graph):
+    handle = obs.install()
+    try:
+        with SamplerPool(small_ic_graph, 2, data_plane="shm") as pool:
+            pool.sample("IC", 200, rng=np.random.default_rng(6))
+        counters = handle.metrics.counters
+        assert counters["ipc.bytes_sent"] == counters["ipc.bytes_packed"]
+        assert 0 < counters["ipc.bytes_packed"] < counters["ipc.bytes_raw"]
+        ratio = handle.metrics.gauges["ipc.compression_ratio"]
+        assert 0 < ratio < 1
+    finally:
+        obs.uninstall()

@@ -1,0 +1,152 @@
+"""Shared-memory segment lifecycle: the data plane's no-leak contract.
+
+Every segment goes through a :class:`SegmentRegistry`; the tests pin the
+ledger semantics (create registers, release/close_all unlink exactly
+once, idempotently), the attach path (same physical pages, no unlink
+duty), and the plane resolution precedence (explicit > env > default).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.shm import (
+    ENV_VAR,
+    REGISTRY,
+    SegmentRegistry,
+    attach_shared_memory,
+    resolve_data_plane,
+    shm_available,
+)
+from repro.shm.segments import quiet_close
+from repro.utils.errors import ValidationError
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="OS shared memory unavailable"
+)
+
+
+def _name_exists(name: str) -> bool:
+    try:
+        shm = attach_shared_memory(name)
+    except FileNotFoundError:
+        return False
+    quiet_close(shm)
+    return True
+
+
+def test_create_view_roundtrip():
+    reg = SegmentRegistry()
+    seg = reg.create(8 * 16, tag="t")
+    view = seg.view(np.int64, 16)
+    view[:] = np.arange(16)
+    again = seg.view(np.int64, 16)
+    assert np.array_equal(again, np.arange(16))
+    assert reg.active_count == 1
+    assert reg.resident_bytes == seg.nbytes
+    reg.release(seg)
+    assert reg.active_count == 0
+    assert seg.closed
+
+
+def test_release_unlinks_name():
+    reg = SegmentRegistry()
+    seg = reg.create(64, tag="t")
+    name = seg.name
+    assert _name_exists(name)
+    reg.release(seg)
+    assert not _name_exists(name)
+    reg.release(seg)  # idempotent
+
+
+def test_close_all_drains_ledger():
+    reg = SegmentRegistry()
+    names = [reg.create(32, tag="t").name for _ in range(4)]
+    assert reg.active_count == 4
+    reg.close_all()
+    assert reg.active_count == 0
+    assert not any(_name_exists(n) for n in names)
+
+
+def test_view_after_close_raises():
+    reg = SegmentRegistry()
+    seg = reg.create(32, tag="t")
+    reg.release(seg)
+    with pytest.raises(ValidationError):
+        seg.view(np.int8, 1)
+
+
+def test_attach_shares_pages():
+    reg = SegmentRegistry()
+    seg = reg.create(4 * 8, tag="t")
+    seg.view(np.int32, 8)[:] = 7
+    shm = attach_shared_memory(seg.name)
+    other = np.frombuffer(shm.buf, dtype=np.int32, count=8)
+    assert np.all(other == 7)
+    seg.view(np.int32, 8)[0] = -1  # writes visible through the attach
+    assert other[0] == -1
+    del other
+    quiet_close(shm)
+    reg.release(seg)
+
+
+def test_unlink_with_live_views_still_removes_name():
+    """The leak-proofness guarantee: close always unlinks, even while
+    NumPy views pin the mapping (unmap then defers to GC)."""
+    reg = SegmentRegistry()
+    seg = reg.create(64, tag="t")
+    view = seg.view(np.int64, 8)
+    name = seg.name
+    reg.release(seg)
+    assert not _name_exists(name)
+    assert view[0] == 0  # mapping itself survives until the view dies
+
+
+def test_registry_gauges():
+    handle = obs.install()
+    try:
+        reg = SegmentRegistry()
+        seg = reg.create(128, tag="t")
+        assert handle.metrics.gauges["shm.segments_active"] == 1
+        assert handle.metrics.gauges["shm.bytes_resident"] == seg.nbytes
+        assert handle.metrics.counters["shm.segments_created"] == 1
+        reg.release(seg)
+        assert handle.metrics.gauges["shm.segments_active"] == 0
+        assert handle.metrics.gauges["shm.bytes_resident"] == 0
+    finally:
+        obs.uninstall()
+
+
+def test_global_registry_exists():
+    # the module-level registry is what pools/arenas default to; it must
+    # start (and in a healthy suite, stay) drained between tests
+    assert isinstance(REGISTRY, SegmentRegistry)
+
+
+# -- plane resolution --------------------------------------------------------
+
+
+def test_resolve_explicit_beats_env(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "shm")
+    assert resolve_data_plane("pickle") == "pickle"
+
+
+def test_resolve_env_beats_default(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "pickle")
+    assert resolve_data_plane() == "pickle"
+
+
+def test_resolve_default_is_shm_when_available(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    assert resolve_data_plane() == "shm"
+
+
+def test_resolve_normalizes_case():
+    assert resolve_data_plane("  SHM ") == "shm"
+
+
+def test_resolve_rejects_unknown():
+    with pytest.raises(ValidationError):
+        resolve_data_plane("carrier-pigeon")

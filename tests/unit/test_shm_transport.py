@@ -1,0 +1,156 @@
+"""Log-encoded IPC transport: packed payloads are exact and smaller.
+
+The contract :mod:`repro.rrr.parallel` leans on: for any sampler output
+(IC or LT, with or without source elimination),
+``PackedResult.encode(...).decode()`` — including a pickle roundtrip,
+i.e. the actual executor pipe — reproduces the raw worker tuple bit for
+bit, at a fraction of the bytes.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.rrr import sample_rrr_ic, sample_rrr_lt
+from repro.shm import ChunkArena, PackedResult, REGISTRY
+from repro.shm.graph import SharedGraph, attach_graph, attach_packed_csc
+
+
+@pytest.fixture(autouse=True)
+def _drain_registry():
+    # resident pools/stores from earlier test modules legitimately keep
+    # published segments alive; drain them so the zero-registry
+    # assertions below see only this module's segments
+    from repro.rrr.parallel import shutdown_pools
+    from repro.rrr.store import clear_stores
+
+    shutdown_pools()
+    clear_stores()
+    yield
+
+
+def _payload(graph, sampler, eliminate, num_sets=300, rng=11):
+    collection, trace = sampler(
+        graph, num_sets, rng=rng, eliminate_sources=eliminate
+    )
+    packed = PackedResult.encode(
+        collection.flat, collection.offsets, collection.sources, trace, graph.n
+    )
+    return collection, trace, packed
+
+
+def _assert_exact(collection, trace, packed):
+    flat, offsets, sources, out_trace = packed.decode()
+    assert np.array_equal(flat, collection.flat)
+    assert flat.dtype == collection.flat.dtype
+    assert np.array_equal(offsets, collection.offsets)
+    assert offsets.dtype == collection.offsets.dtype
+    assert np.array_equal(sources, collection.sources)
+    assert np.array_equal(out_trace.sizes, trace.sizes)
+    assert np.array_equal(out_trace.rounds, trace.rounds)
+    assert np.array_equal(out_trace.edges_examined, trace.edges_examined)
+    assert np.array_equal(out_trace.kept_mask, trace.kept_mask)
+    assert np.array_equal(out_trace.sources, trace.sources)
+    assert out_trace.raw_singletons == trace.raw_singletons
+
+
+@pytest.mark.parametrize("eliminate", [False, True])
+def test_roundtrip_ic(small_ic_graph, eliminate):
+    collection, trace, packed = _payload(small_ic_graph, sample_rrr_ic, eliminate)
+    _assert_exact(collection, trace, packed)
+
+
+@pytest.mark.parametrize("eliminate", [False, True])
+def test_roundtrip_lt(small_lt_graph, eliminate):
+    collection, trace, packed = _payload(small_lt_graph, sample_rrr_lt, eliminate)
+    _assert_exact(collection, trace, packed)
+
+
+def test_roundtrip_through_pickle(small_ic_graph):
+    """The wire itself: pickled size tracks nbytes_packed, decode exact."""
+    collection, trace, packed = _payload(small_ic_graph, sample_rrr_ic, False)
+    wire = pickle.dumps(packed, protocol=pickle.HIGHEST_PROTOCOL)
+    assert len(wire) <= packed.nbytes_packed
+    _assert_exact(collection, trace, pickle.loads(wire))
+
+
+def test_packed_is_smaller(small_ic_graph):
+    _, _, packed = _payload(small_ic_graph, sample_rrr_ic, False, num_sets=1000)
+    # the acceptance floor: >= 30% IPC reduction vs the raw arrays
+    assert packed.nbytes_packed <= 0.7 * packed.nbytes_raw
+
+
+def test_empty_payload():
+    from repro.rrr.trace import empty_trace
+
+    packed = PackedResult.encode(
+        np.empty(0, dtype=np.int32),
+        np.zeros(1, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        empty_trace(),
+        10,
+    )
+    flat, offsets, sources, trace = pickle.loads(pickle.dumps(packed)).decode()
+    assert flat.size == 0 and sources.size == 0
+    assert np.array_equal(offsets, np.zeros(1, dtype=np.int64))
+    assert trace.attempted == 0
+
+
+def test_arena_merge_matches_concat(small_ic_graph):
+    """Decoding straight into an arena chunk equals the concat path."""
+    from repro.rrr.collection import RRRCollection
+
+    parts = []
+    payloads = []
+    for rng in (3, 4, 5):
+        collection, trace, packed = _payload(
+            small_ic_graph, sample_rrr_ic, False, num_sets=200, rng=rng
+        )
+        parts.append(collection)
+        payloads.append(packed)
+    expected = RRRCollection.concat(parts)
+    arena = ChunkArena()
+    try:
+        chunk = arena.merge_payloads(payloads, small_ic_graph.n)
+        merged = chunk.collection(small_ic_graph.n)
+        assert np.array_equal(merged.flat, expected.flat)
+        assert np.array_equal(merged.offsets, expected.offsets)
+        assert np.array_equal(merged.sources, expected.sources)
+        assert arena.num_chunks == 1
+    finally:
+        arena.close()
+    assert arena.closed
+
+
+def test_shared_graph_attach_roundtrip(small_ic_graph):
+    shared = SharedGraph(small_ic_graph)
+    try:
+        handle = shared.handle()
+        attachment = attach_graph(handle)
+        g = attachment.graph
+        assert g.n == small_ic_graph.n and g.m == small_ic_graph.m
+        assert np.array_equal(g.indptr, small_ic_graph.indptr)
+        assert np.array_equal(g.indices, small_ic_graph.indices)
+        assert np.array_equal(g.weights, small_ic_graph.weights)
+        assert g.fingerprint() == small_ic_graph.fingerprint()
+        attachment.close()
+    finally:
+        shared.close()
+    assert REGISTRY.active_count == 0
+
+
+def test_shared_graph_encoded_variant(small_ic_graph):
+    shared = SharedGraph(small_ic_graph)
+    try:
+        shared.publish_encoded(small_ic_graph)
+        shared.publish_encoded(small_ic_graph)  # idempotent
+        packed = attach_packed_csc(shared.handle())
+        assert np.array_equal(packed.offsets.unpack(), small_ic_graph.indptr)
+        assert np.array_equal(packed.neighbors.unpack(), small_ic_graph.indices)
+        packed.close()
+    finally:
+        shared.close()
+    assert REGISTRY.active_count == 0
