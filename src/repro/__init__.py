@@ -40,6 +40,7 @@ from repro.graphs import (
 )
 from repro.imm import (
     BoundsConfig,
+    CoverageIndex,
     IMMOptions,
     IMMResult,
     InfluenceOracle,
@@ -56,6 +57,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BoundsConfig",
+    "CoverageIndex",
     "CuRipplesEngine",
     "DATASETS",
     "DirectedGraph",

@@ -74,6 +74,7 @@ class Engine(ABC):
         store=None,
         n_jobs: int = 1,
         resilience=None,
+        selection_strategy: str = "fast",
     ) -> EngineResult:
         """Execute the engine and return seeds plus modeled device costs.
 
@@ -87,6 +88,11 @@ class Engine(ABC):
         forwarded to :func:`run_imm` so all engines of one comparison
         share a single resident worker pool and, in sweeps, top up one
         cached sample instead of resampling.
+
+        ``selection_strategy`` picks the host greedy implementation
+        (``fast`` / ``lazy`` / ``reference``); all are bit-identical in
+        seeds and :class:`SelectionStats`, so modeled device costs do
+        not depend on it.
         """
         device = SimulatedDevice(self._adapt_spec(device_spec))
         cost = CostModel(device.spec)
@@ -102,6 +108,7 @@ class Engine(ABC):
                     bounds=bounds,
                     n_jobs=pool.n_jobs if pool is not None else n_jobs,
                     resilience=resilience,
+                    selection_strategy=selection_strategy,
                 ),
                 pool=pool,
                 store=store,

@@ -18,6 +18,7 @@ whole suite stays CI-sized.  Environment overrides:
 ``REPRO_CHECKPOINT_DIR``   base dir for warm-start RRR checkpoints
 ``REPRO_FAULTS``           fault-injection plan (repro.resilience.faults)
 ``REPRO_DATA_PLANE``       ``shm`` (default where available) / ``pickle``
+``REPRO_SELECTION_STRATEGY``  ``fast`` (default) / ``lazy`` / ``reference``
 ========================  ============================================
 """
 
@@ -91,6 +92,10 @@ class ExperimentConfig:
     #: then to "shm" where OS shared memory works.  Bit-identical output
     #: either way.
     data_plane: Optional[str] = None
+    #: greedy seed-selection implementation ("fast" / "lazy" /
+    #: "reference"); all three are bit-identical in seeds and stats, so
+    #: this is a host-performance knob only
+    selection_strategy: str = "fast"
 
     @classmethod
     def from_env(cls, **overrides) -> "ExperimentConfig":
@@ -122,6 +127,10 @@ class ExperimentConfig:
             kwargs["checkpoint_dir"] = os.environ["REPRO_CHECKPOINT_DIR"]
         if "REPRO_DATA_PLANE" in os.environ:
             kwargs["data_plane"] = os.environ["REPRO_DATA_PLANE"]
+        if "REPRO_SELECTION_STRATEGY" in os.environ:
+            kwargs["selection_strategy"] = (
+                os.environ["REPRO_SELECTION_STRATEGY"].strip().lower()
+            )
         kwargs.update(overrides)
         return cls(**kwargs)
 
@@ -140,6 +149,13 @@ class ExperimentConfig:
             raise ValidationError(
                 f"unknown data plane {self.data_plane!r}; "
                 "choose 'pickle' or 'shm' (or None for the default)"
+            )
+        from repro.imm.seed_selection import STRATEGIES
+
+        if self.selection_strategy not in STRATEGIES:
+            raise ValidationError(
+                f"unknown selection strategy {self.selection_strategy!r}; "
+                f"choose one of {STRATEGIES}"
             )
         self.resilience()  # validates job_timeout / max_retries eagerly
 

@@ -17,6 +17,7 @@ from repro.experiments.rendering import Series, format_series, format_table
 from repro.experiments.runner import compare_engines
 from repro.gpu.cost_model import CostModel
 from repro.imm.imm import run_imm
+from repro.imm.coverage import CoverageIndex
 from repro.imm.seed_selection import select_seeds
 from repro.rrr import get_sampler
 from repro.utils.rng import spawn_generators
@@ -59,10 +60,14 @@ def fig3_scan_scaling(
     cost = CostModel(config.device())
     k_eff = min(k, graph.n)
 
+    # one inverted index over the full sample serves every prefix point
+    # (postings are clipped to each prefix) instead of re-deriving the
+    # vertex->position map per sweep point
+    index = CoverageIndex.build(collection)
     thread = Series("thread-based")
     warp = Series("warp-based")
     for n_sets in n_values:
-        sel = select_seeds(collection.prefix(n_sets), k_eff)
+        sel = select_seeds(collection.prefix(n_sets), k_eff, index=index)
         thread.add(n_sets, cost.thread_scan_cycles(sel.stats, encoded=True))
         warp.add(n_sets, cost.warp_scan_cycles(sel.stats, encoded=False))
     return FigureResult(

@@ -195,7 +195,8 @@ def compare_engines(
                 eim_engine.run(graph, k_eff, epsilon, model, rng=rng_eim,
                                bounds=bounds, device_spec=device,
                                pool=pool, store=eim_store, n_jobs=config.n_jobs,
-                               resilience=resilience)
+                               resilience=resilience,
+                               selection_strategy=config.selection_strategy)
             )
         except MemoryError as exc:
             eim_runs.append(_host_oom_result("eim", model, k_eff, epsilon, exc))
@@ -205,7 +206,8 @@ def compare_engines(
                 options=IMMOptions(model=model, eliminate_sources=False,
                                    bounds=bounds, n_jobs=config.n_jobs,
                                    resilience=resilience,
-                                   data_plane=config.data_plane),
+                                   data_plane=config.data_plane,
+                                   selection_strategy=config.selection_strategy),
                 pool=pool, store=vanilla_store,
             )
         except MemoryError as exc:

@@ -15,6 +15,7 @@ from repro.imm.bounds import (
     log_binomial,
 )
 from repro.imm.celf import run_celf_greedy
+from repro.imm.coverage import CoverageIndex
 from repro.imm.imm import IMMResult, run_imm
 from repro.imm.options import IMMOptions
 from repro.imm.oracle import InfluenceOracle
@@ -24,6 +25,7 @@ from repro.imm.tim import TIMResult, run_tim
 
 __all__ = [
     "BoundsConfig",
+    "CoverageIndex",
     "IMMOptions",
     "IMMResult",
     "InfluenceOracle",

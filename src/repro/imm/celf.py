@@ -64,11 +64,15 @@ def run_celf_greedy(
         with_v = estimate_spread(graph, seed_list + [v], model, num_samples, gen)
         return with_v
 
-    # initial pass: marginal gain of each singleton
+    # initial pass: marginal gain of each singleton.  These estimates are
+    # exact for round 1 (the seed set is empty), so they are pushed as
+    # round-1-fresh — tagging them 0 would make the round loop below
+    # treat every one as stale and re-estimate it, burning num_samples
+    # cascades per re-popped candidate for no information
     heap: list[tuple[float, int, int]] = []  # (-gain, last_updated_round, v)
     for v in pool.tolist():
         g = gain_of([], v)
-        heapq.heappush(heap, (-g, 0, v))
+        heapq.heappush(heap, (-g, 1, v))
 
     seeds: list[int] = []
     current_spread = 0.0

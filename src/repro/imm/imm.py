@@ -19,6 +19,7 @@ import numpy as np
 from repro import obs
 from repro.graphs.csc import DirectedGraph
 from repro.imm.bounds import BoundsConfig, adjusted_ell, lambda_prime, lambda_star
+from repro.imm.coverage import CoverageIndex
 from repro.imm.options import IMMOptions
 from repro.imm.seed_selection import SelectionResult, select_seeds
 from repro.obs.export import ProfileReport
@@ -257,6 +258,18 @@ def _run_imm_core(
         np.empty(0, dtype=np.int32), np.zeros(1, dtype=np.int64), graph.n,
         sources=np.empty(0, dtype=np.int64),
     )
+    # the selection-side analogue of the sampling amortization: one
+    # inverted index, extended as the collection grows, shared by every
+    # estimation phase and the final selection (and — via the store —
+    # by every run of a k/ε sweep)
+    cov_index = CoverageIndex(graph.n) if store is None else None
+
+    def selection_index() -> CoverageIndex:
+        if store is not None:
+            return store.coverage_index()
+        cov_index.extend_to(collection)
+        return cov_index
+
     last_selection: SelectionResult | None = None
     for i in range(1, max_phase + 1):
         with obs.span(f"imm.estimation.phase_{i}"):
@@ -274,7 +287,11 @@ def _run_imm_core(
                         parts = [collection]
                 num_sets = theta_i
             with obs.span("imm.selection"):
-                sel = select_seeds(collection, k, strategy=options.selection_strategy)
+                sel = select_seeds(
+                    collection, k,
+                    strategy=options.selection_strategy,
+                    index=selection_index(),
+                )
             last_selection = sel
             influence_est = n * sel.coverage_fraction
             passed = influence_est >= (1.0 + eps_prime) * x
@@ -311,7 +328,11 @@ def _run_imm_core(
     if last_selection is None:
         # the collection grew since the last estimation-phase selection
         with obs.span("imm.selection"):
-            selection = select_seeds(collection, k, strategy=options.selection_strategy)
+            selection = select_seeds(
+                collection, k,
+                strategy=options.selection_strategy,
+                index=selection_index(),
+            )
     else:
         # the last estimation phase already ran greedy on this exact
         # collection; re-running it would reproduce the result bit for bit

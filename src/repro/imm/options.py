@@ -20,7 +20,7 @@ from repro.resilience.options import ResilienceOptions
 from repro.utils.errors import ValidationError
 
 _MODELS = ("IC", "LT")
-_SELECTION_STRATEGIES = ("fast", "reference")
+_SELECTION_STRATEGIES = ("fast", "lazy", "reference")
 
 
 @dataclass(frozen=True)
@@ -38,8 +38,10 @@ class IMMOptions:
         :class:`~repro.imm.bounds.BoundsConfig` overriding the
         martingale sample-size bounds; ``None`` means exact bounds.
     selection_strategy:
-        Greedy max-coverage implementation, ``"fast"`` or
-        ``"reference"``.
+        Greedy max-coverage implementation: ``"fast"`` (argmax +
+        inverted index), ``"lazy"`` (CELF-style max-heap over exact
+        marginal gains; same seeds and stats, cheaper once coverage
+        concentrates), or ``"reference"`` (the Alg. 3 oracle).
     batch_size:
         Sets per lockstep sampler batch (forwarded to pool workers).
     n_jobs:

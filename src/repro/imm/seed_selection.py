@@ -5,30 +5,47 @@ Each of ``k`` iterations picks the vertex with the highest remaining count
 decrements the counts of all members of those sets — so ``C`` always holds
 exact marginal coverage gains.
 
-Two interchangeable implementations:
+Three interchangeable implementations:
 
-* ``fast`` — inverted-index implementation (vertex -> element positions),
-  the host-performance choice; per iteration it touches only the sets that
-  actually contain the selected vertex.
+* ``fast`` — inverted-index implementation (vertex -> element positions
+  via :class:`~repro.imm.coverage.CoverageIndex`), argmax over the count
+  array each iteration; the host-performance default.
+* ``lazy`` — the same index, but the argmax is replaced by a CELF-style
+  max-heap over marginal gains.  For max coverage the maintained counts
+  *are* the exact marginal gains (submodularity makes stale heap
+  entries upper bounds), so lazy popping is exact — identical seeds,
+  identical stats — while touching O(pops · log n) instead of O(n) per
+  iteration once coverage concentrates.
 * ``reference`` — a literal transcription of Alg. 3: every uncovered set
   is scanned with a binary search per iteration.  Quadratic-ish and used
   by the tests as the semantics oracle.
 
-Both produce identical seeds and identical :class:`SelectionStats`; the
-stats drive the simulated-GPU scan cost models (thread- vs warp-based,
-Fig. 3).
+All strategies produce identical seeds and identical
+:class:`SelectionStats`; the stats drive the simulated-GPU scan cost
+models (thread- vs warp-based, Fig. 3).
+
+Callers that select repeatedly over a growing collection — IMM's
+estimation phases, the warm-start store's k/ε sweeps, Fig. 3's prefix
+sweep — pass ``index=`` a :class:`CoverageIndex` they keep extending, so
+the vertex->position index is built once per *stream* instead of once
+per *call*.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
 
 import numpy as np
 
 from repro import obs
+from repro.imm.coverage import CoverageIndex
 from repro.rrr.collection import RRRCollection
 from repro.utils.errors import ValidationError
 from repro.utils.segments import segmented_arange
+
+#: every implementation select_seeds accepts
+STRATEGIES = ("fast", "lazy", "reference")
 
 
 @dataclass
@@ -61,21 +78,39 @@ class SelectionResult:
 
 
 def select_seeds(
-    collection: RRRCollection, k: int, strategy: str = "fast"
+    collection: RRRCollection,
+    k: int,
+    strategy: str = "fast",
+    index: CoverageIndex | None = None,
 ) -> SelectionResult:
     """Greedy max-coverage selection of ``k`` seeds (ties -> lowest id).
 
     The returned seeds are guaranteed **distinct**: once a vertex is
-    selected its count is masked to -1, so even after every set is
-    covered (all remaining marginal gains zero) later iterations pick
-    the lowest-id *unselected* vertex rather than re-returning vertex 0.
+    selected its gain is retired, so even after every set is covered
+    (all remaining marginal gains zero) later iterations pick the
+    lowest-id *unselected* vertex rather than re-returning vertex 0.
+
+    ``index`` — an optional :class:`CoverageIndex` whose stream prefix
+    matches ``collection.flat`` (it may cover *more* elements, e.g. the
+    store's full cached sample behind a prefix view); when omitted the
+    ``fast``/``lazy`` strategies build a throwaway one.
     """
     if k < 1:
         raise ValidationError("k must be >= 1")
     if k > collection.n:
         raise ValidationError(f"k={k} exceeds the number of vertices {collection.n}")
-    if strategy == "fast":
-        result = _greedy_fast(collection, k)
+    if index is not None:
+        if index.n != collection.n:
+            raise ValidationError(
+                f"index n={index.n} does not match collection n={collection.n}"
+            )
+        if index.num_elements < collection.total_elements:
+            raise ValidationError(
+                f"index covers {index.num_elements} elements, collection has "
+                f"{collection.total_elements}; extend the index first"
+            )
+    if strategy in ("fast", "lazy"):
+        result = _greedy_indexed(collection, k, index, lazy=strategy == "lazy")
     elif strategy == "reference":
         result = _greedy_reference(collection, k)
     else:
@@ -90,16 +125,23 @@ def select_seeds(
     return result
 
 
-def _greedy_fast(collection: RRRCollection, k: int) -> SelectionResult:
+def _greedy_indexed(
+    collection: RRRCollection, k: int, index: CoverageIndex | None, lazy: bool
+) -> SelectionResult:
     flat = collection.flat
     offsets = collection.offsets
     num_sets = collection.num_sets
+    n = collection.n
     counts = collection.counts.copy()
     sizes = np.diff(offsets)
 
-    # inverted index: element positions grouped by vertex id
-    order = np.argsort(flat, kind="stable")
-    vert_starts = np.searchsorted(flat[order], np.arange(collection.n + 1))
+    if index is None:
+        index = CoverageIndex.build(collection)
+    else:
+        obs.counter_add("selection.index.served_elements", collection.total_elements)
+    # the index may extend beyond this collection (prefix view of a
+    # warm-start store); clip postings to the elements actually present
+    limit = collection.total_elements if index.num_elements > collection.total_elements else None
 
     covered = np.zeros(num_sets, dtype=bool)
     seeds = np.empty(k, dtype=np.int64)
@@ -109,11 +151,31 @@ def _greedy_fast(collection: RRRCollection, k: int) -> SelectionResult:
     decremented = np.empty(k, dtype=np.int64)
     covered_total = 0
 
+    if lazy:
+        # CELF-style max-heap keyed (-gain, vertex): counts only ever
+        # decrease, so a popped stored gain is an upper bound; a fresh
+        # top is therefore an exact argmax, and the vertex component
+        # preserves the lowest-id tie-break among equal gains
+        heap = [(-int(c), v) for v, c in enumerate(counts)]
+        heapify(heap)
+        pops = 0
+        reevals = 0
+
     for it in range(k):
-        v = int(np.argmax(counts))
+        if lazy:
+            while True:
+                neg_gain, v = heappop(heap)
+                pops += 1
+                current = int(counts[v])
+                if -neg_gain == current:
+                    break
+                reevals += 1
+                heappush(heap, (-current, v))
+        else:
+            v = int(np.argmax(counts))
         seeds[it] = v
         scanned[it] = num_sets - covered_total  # Alg. 3 scans uncovered sets
-        positions = order[vert_starts[v] : vert_starts[v + 1]]
+        positions = index.postings(v, limit)
         set_ids = np.searchsorted(offsets, positions, side="right") - 1
         new_sets = set_ids[~covered[set_ids]]
         covered[new_sets] = True
@@ -122,11 +184,17 @@ def _greedy_fast(collection: RRRCollection, k: int) -> SelectionResult:
         covered_total += new_sets.size
         if new_sets.size:
             elem_idx = segmented_arange(offsets[new_sets], sizes[new_sets])
-            np.subtract.at(counts, flat[elem_idx], 1)
+            # one bincount batches every decrement of this iteration —
+            # no unbuffered scatter (np.subtract.at) over the flat array
+            counts -= np.bincount(flat[elem_idx], minlength=n)
             decremented[it] = elem_idx.size
         else:
             decremented[it] = 0
-        counts[v] = -1  # mask: selected vertices must never win argmax again
+        counts[v] = -1  # mask: selected vertices must never win again
+
+    if lazy and obs.enabled():
+        obs.counter_add("selection.lazy.pops", pops)
+        obs.counter_add("selection.lazy.reevals", reevals)
 
     stats = SelectionStats(
         sets_scanned=scanned,

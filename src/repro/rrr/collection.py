@@ -35,7 +35,9 @@ class RRRCollection:
 
     __slots__ = ("flat", "offsets", "counts", "n", "sources")
 
-    def __init__(self, flat, offsets, n: int, sources=None, check: bool = True):
+    def __init__(
+        self, flat, offsets, n: int, sources=None, check: bool = True, counts=None
+    ):
         flat = np.asarray(flat, dtype=np.int32)
         offsets = np.asarray(offsets, dtype=np.int64)
         require(offsets.size >= 1 and offsets[0] == 0, "offsets must start at 0")
@@ -49,7 +51,14 @@ class RRRCollection:
         self.offsets = offsets
         self.n = int(n)
         self.sources = None if sources is None else np.asarray(sources, dtype=np.int64)
-        counts = np.bincount(flat, minlength=n).astype(np.int64)
+        if counts is None:
+            # derived from scratch only when no caller knows them already:
+            # concat sums the parts' counts, prefix slice-adjusts the
+            # parent's, so phase top-ups never re-scan the whole store
+            counts = np.bincount(flat, minlength=n).astype(np.int64)
+        else:
+            counts = np.asarray(counts, dtype=np.int64)
+            require(counts.size == n, "counts must have one entry per vertex")
         self.counts = counts
 
     # -- construction --------------------------------------------------------
@@ -86,7 +95,12 @@ class RRRCollection:
             sources = np.concatenate([p.sources for p in parts])
         else:
             sources = None
-        return cls(flat, offsets, n, sources=sources, check=False)
+        # the parts' counts are already known: summing them is O(n·parts),
+        # not a re-scan of every element of the concatenated store
+        counts = parts[0].counts.copy()
+        for p in parts[1:]:
+            counts += p.counts
+        return cls(flat, offsets, n, sources=sources, check=False, counts=counts)
 
     # -- queries -------------------------------------------------------------
     @property
@@ -129,9 +143,18 @@ class RRRCollection:
             )
         end = int(self.offsets[num_sets])
         sources = None if self.sources is None else self.sources[:num_sets]
+        dropped = self.flat.size - end
+        if dropped == 0:
+            counts = self.counts
+        elif dropped <= end:
+            # slice-adjust: subtract the dropped suffix from the known
+            # counts instead of re-scanning the (larger) kept prefix
+            counts = self.counts - np.bincount(self.flat[end:], minlength=self.n)
+        else:
+            counts = None  # suffix dominates; a fresh bincount is cheaper
         return RRRCollection(
             self.flat[:end], self.offsets[: num_sets + 1], self.n,
-            sources=sources, check=False,
+            sources=sources, check=False, counts=counts,
         )
 
     def sets_containing(self, v: int) -> np.ndarray:

@@ -82,7 +82,10 @@ def coverage_concentration(collection: RRRCollection, top_k: int = 50) -> np.nda
     if collection.num_sets == 0:
         raise ValidationError("concentration of an empty collection")
     top_k = min(top_k, collection.n)
-    order = np.argsort(collection.counts)[::-1][:top_k]
+    # stable sort on the negated key: tied counts keep ascending vertex
+    # order (reversing a stable ascending sort would put the *highest*
+    # id first, contradicting the lowest-id convention selection uses)
+    order = np.argsort(-collection.counts, kind="stable")[:top_k]
     covered = np.zeros(collection.num_sets, dtype=bool)
     out = np.empty(top_k, dtype=np.float64)
     for i, v in enumerate(order):

@@ -136,6 +136,10 @@ class RRRStore:
         self._chunks: list[tuple[RRRCollection, SampleTrace]] = []
         self._collection: Optional[RRRCollection] = None  # concat cache
         self._trace: Optional[SampleTrace] = None
+        # the selection-side cache riding this store: one CoverageIndex
+        # over the cached stream, extended chunk by chunk, shared by
+        # every phase of every run served from this key
+        self._index = None
 
     # -- identity ------------------------------------------------------------
     def key(self) -> tuple:
@@ -218,6 +222,7 @@ class RRRStore:
         self._chunks = []
         self._collection = None
         self._trace = None
+        self._index = None
 
     # -- checkpointing -------------------------------------------------------
     def _load_checkpoint(self) -> None:
@@ -275,22 +280,47 @@ class RRRStore:
         if sampled_new:
             obs.counter_add("rrr.store.topups", 1)
             obs.counter_add("rrr.store.sampled_sets", sampled_new)
-        if self._collection is None:
-            if self._chunks:
-                self._collection = RRRCollection.concat([c for c, _ in self._chunks])
-                trace = empty_trace()
-                for _, t in self._chunks:
-                    trace = trace.merged_with(t)
-                self._trace = trace
-            else:
-                self._collection = RRRCollection(
-                    np.empty(0, dtype=np.int32),
-                    np.zeros(1, dtype=np.int64),
-                    self.graph.n,
-                    sources=np.empty(0, dtype=np.int64),
-                )
-                self._trace = empty_trace()
+        self._materialize()
         return self._collection.prefix(theta), self._trace_prefix(theta)
+
+    def _materialize(self) -> None:
+        """Rebuild the concatenated collection/trace caches if stale."""
+        if self._collection is not None:
+            return
+        if self._chunks:
+            self._collection = RRRCollection.concat([c for c, _ in self._chunks])
+            trace = empty_trace()
+            for _, t in self._chunks:
+                trace = trace.merged_with(t)
+            self._trace = trace
+        else:
+            self._collection = RRRCollection(
+                np.empty(0, dtype=np.int32),
+                np.zeros(1, dtype=np.int64),
+                self.graph.n,
+                sources=np.empty(0, dtype=np.int64),
+            )
+            self._trace = empty_trace()
+
+    def coverage_index(self):
+        """The persistent vertex->position :class:`~repro.imm.coverage.CoverageIndex`
+        over this store's cached stream.
+
+        Extended in place as chunks accumulate — chunk contents are pure
+        functions of ``(key, j)``, so the already-indexed prefix never
+        changes, across top-ups *and* across checkpoint resume.  Seed
+        selection on any ``ensure(theta)`` prefix view passes this index
+        and clips postings to the prefix, so a whole k/ε sweep builds
+        each posting exactly once.
+        """
+        from repro.imm.coverage import CoverageIndex
+
+        self._load_checkpoint()
+        self._materialize()
+        if self._index is None:
+            self._index = CoverageIndex(self.graph.n)
+        self._index.extend_to(self._collection)
+        return self._index
 
     def _trace_prefix(self, theta: int) -> SampleTrace:
         """The trace slice covering the attempts behind the first

@@ -120,9 +120,9 @@ def test_final_selection_reused_when_collection_unchanged(small_ic_graph, monkey
     calls = []
     real_select = imm_mod.select_seeds
 
-    def counting_select(collection, k, strategy="fast"):
+    def counting_select(collection, k, strategy="fast", **kwargs):
         calls.append(collection.num_sets)
-        return real_select(collection, k, strategy=strategy)
+        return real_select(collection, k, strategy=strategy, **kwargs)
 
     monkeypatch.setattr(imm_mod, "select_seeds", counting_select)
     result = run_imm(small_ic_graph, 2, 0.5, rng=0,

@@ -55,3 +55,24 @@ def test_agreement_with_imm(small_ic_graph):
     sp_celf = estimate_spread(small_ic_graph, celf.seeds, "IC", 400, rng=5)
     sp_imm = estimate_spread(small_ic_graph, imm.seeds, "IC", 400, rng=5)
     assert sp_celf > 0.8 * sp_imm
+
+
+def test_round_one_uses_initial_gains_exactly(tiny_graph):
+    # regression: the initial singleton gains were pushed as round-0 so
+    # the round-1 loop re-estimated every popped candidate — for k == 1
+    # that burned extra num_samples-cascade evaluations beyond the pool
+    res = run_celf_greedy(tiny_graph, 1, num_samples=40, rng=6)
+    assert res.evaluations == tiny_graph.n
+
+
+def test_round_one_exactness_with_candidate_pool(tiny_graph):
+    pool = [0, 5, 10, 12]
+    res = run_celf_greedy(tiny_graph, 1, num_samples=40, rng=7, candidates=pool)
+    assert res.evaluations == len(pool)
+
+
+def test_later_rounds_still_reevaluate(tiny_graph):
+    # k > 1 must keep lazy re-evaluation: strictly more evaluations than
+    # the initial pass, but far fewer than naive n*k
+    res = run_celf_greedy(tiny_graph, 3, num_samples=40, rng=8)
+    assert tiny_graph.n < res.evaluations < tiny_graph.n * 3

@@ -1,0 +1,126 @@
+"""CoverageIndex: extendable CSR inverted index parity and lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.imm.coverage import CoverageIndex
+from repro.rrr import RRRCollection, sample_rrr_ic
+from repro.utils.errors import ValidationError
+
+
+def _reference_postings(flat, n, v):
+    """Ground truth: ascending positions of v in flat."""
+    return np.flatnonzero(np.asarray(flat) == v).astype(np.int64)
+
+
+def _assert_index_matches(index, flat, n, limit=None):
+    flat = np.asarray(flat)
+    for v in range(n):
+        expected = _reference_postings(flat, n, v)
+        if limit is not None:
+            expected = expected[expected < limit]
+        got = index.postings(v, limit)
+        assert np.array_equal(got, expected), f"vertex {v}"
+
+
+def test_build_matches_flat_scan(small_ic_graph):
+    coll, _ = sample_rrr_ic(small_ic_graph, 300, rng=1)
+    index = CoverageIndex.build(coll)
+    assert index.num_elements == coll.total_elements
+    _assert_index_matches(index, coll.flat, coll.n)
+
+
+def test_extend_parity_with_fresh_build(small_ic_graph):
+    coll, _ = sample_rrr_ic(small_ic_graph, 400, rng=2)
+    fresh = CoverageIndex.build(coll)
+    grown = CoverageIndex(coll.n)
+    for num_sets in (50, 120, 121, 320, 400):
+        grown.extend_to(coll.prefix(num_sets))
+    assert grown.num_elements == fresh.num_elements
+    for v in range(coll.n):
+        assert np.array_equal(grown.postings(v), fresh.postings(v))
+
+
+def test_extend_with_empty_segment_is_noop():
+    index = CoverageIndex(5)
+    index.extend(np.empty(0, dtype=np.int32))
+    assert index.num_elements == 0
+    assert index.num_blocks == 0
+
+
+def test_extend_to_shorter_collection_is_noop(small_ic_graph):
+    coll, _ = sample_rrr_ic(small_ic_graph, 200, rng=3)
+    index = CoverageIndex.build(coll)
+    before = index.num_elements
+    index.extend_to(coll.prefix(50))  # sweep cell revisiting a smaller theta
+    assert index.num_elements == before
+
+
+def test_prefix_limit_clips_postings(small_ic_graph):
+    coll, _ = sample_rrr_ic(small_ic_graph, 300, rng=4)
+    index = CoverageIndex.build(coll)
+    for num_sets in (1, 7, 150, 299):
+        limit = int(coll.offsets[num_sets])
+        _assert_index_matches(index, coll.flat, coll.n, limit=limit)
+
+
+def test_partial_block_limit():
+    # one block, limit cuts through the middle of it
+    flat = np.array([3, 1, 3, 0, 3, 1], dtype=np.int32)
+    index = CoverageIndex(4)
+    index.extend(flat)
+    assert np.array_equal(index.postings(3, 3), [0, 2])
+    assert np.array_equal(index.postings(3, None), [0, 2, 4])
+    assert np.array_equal(index.postings(1, 1), [])
+    assert np.array_equal(index.postings(1, 2), [1])
+
+
+def test_counts_with_and_without_limit(small_ic_graph):
+    coll, _ = sample_rrr_ic(small_ic_graph, 250, rng=5)
+    index = CoverageIndex(coll.n)
+    index.extend_to(coll.prefix(100))
+    index.extend_to(coll)
+    assert np.array_equal(index.counts(), coll.counts)
+    limit = int(coll.offsets[100])
+    assert np.array_equal(index.counts(limit), coll.prefix(100).counts)
+
+
+def test_compaction_preserves_postings(small_ic_graph):
+    coll, _ = sample_rrr_ic(small_ic_graph, 240, rng=6)
+    index = CoverageIndex(coll.n, max_blocks=3)
+    for num_sets in range(40, 241, 40):  # 6 extends > max_blocks
+        index.extend_to(coll.prefix(num_sets))
+    assert index.num_blocks <= 3 + 1
+    fresh = CoverageIndex.build(coll)
+    for v in range(coll.n):
+        assert np.array_equal(index.postings(v), fresh.postings(v))
+    # limits still respected after the merge
+    limit = int(coll.offsets[100])
+    _assert_index_matches(index, coll.flat, coll.n, limit=limit)
+
+
+def test_extend_granularity_is_irrelevant():
+    rng = np.random.default_rng(0)
+    flat = rng.integers(0, 20, size=500).astype(np.int32)
+    one = CoverageIndex(20)
+    one.extend(flat)
+    many = CoverageIndex(20)
+    for lo in range(0, 500, 37):
+        many.extend(flat[lo : lo + 37])
+    for v in range(20):
+        assert np.array_equal(one.postings(v), many.postings(v))
+
+
+def test_validation():
+    with pytest.raises(ValidationError):
+        CoverageIndex(0)
+    with pytest.raises(ValidationError):
+        CoverageIndex(4, max_blocks=0)
+    index = CoverageIndex(4)
+    with pytest.raises(ValidationError):
+        index.extend(np.array([1, 4], dtype=np.int32))  # out of range
+    with pytest.raises(ValidationError):
+        index.extend(np.array([-1], dtype=np.int32))
+    other = RRRCollection.from_sets([[0]], n=9)
+    with pytest.raises(ValidationError):
+        index.extend_to(other)  # mismatched n

@@ -93,3 +93,8 @@ def test_parallel_options_reproducible(small_ic_graph):
     assert np.array_equal(a.seeds, b.seeds)
     assert np.array_equal(a.collection.flat, b.collection.flat)
     assert np.array_equal(a.collection.offsets, b.collection.offsets)
+
+
+def test_all_selection_strategies_accepted():
+    for strategy in ("fast", "lazy", "reference"):
+        assert IMMOptions(selection_strategy=strategy).selection_strategy == strategy

@@ -1,7 +1,7 @@
 import numpy as np
 import pytest
 
-from repro.rrr import RRRBuilder, RRRCollection
+from repro.rrr import RRRBuilder, RRRCollection, sample_rrr_ic
 from repro.utils.errors import ValidationError
 
 
@@ -142,3 +142,35 @@ def test_concat_with_empty_sets():
     assert merged.num_sets == 4
     assert list(merged.sizes()) == [0, 1, 1, 0]
     assert merged.total_elements == 2
+
+
+def test_concat_counts_equal_from_scratch_bincount(small_ic_graph):
+    # concat sums the parts' known counts instead of re-scanning the
+    # concatenated flat array; the result must be indistinguishable
+    a, _ = sample_rrr_ic(small_ic_graph, 120, rng=21)
+    b, _ = sample_rrr_ic(small_ic_graph, 80, rng=22)
+    c, _ = sample_rrr_ic(small_ic_graph, 50, rng=23)
+    merged = RRRCollection.concat([a, b, c])
+    scratch = np.bincount(merged.flat, minlength=merged.n).astype(np.int64)
+    assert merged.counts.dtype == scratch.dtype
+    assert np.array_equal(merged.counts, scratch)
+
+
+def test_prefix_counts_equal_from_scratch_bincount(small_ic_graph):
+    coll, _ = sample_rrr_ic(small_ic_graph, 200, rng=24)
+    # hits both adjustment paths: small prefix (recount) and large
+    # prefix (slice-adjust via the dropped suffix), plus the edges
+    for num_sets in (0, 1, 10, 150, 199, 200):
+        p = coll.prefix(num_sets)
+        scratch = np.bincount(p.flat, minlength=p.n).astype(np.int64)
+        assert np.array_equal(p.counts, scratch), num_sets
+
+
+def test_explicit_counts_validated():
+    with pytest.raises(ValidationError):
+        RRRCollection(
+            np.array([0, 1], dtype=np.int32),
+            np.array([0, 2], dtype=np.int64),
+            n=3,
+            counts=np.array([1, 1], dtype=np.int64),  # wrong length
+        )

@@ -65,3 +65,16 @@ def test_concentration_saturates_on_real_sample(small_ic_graph):
     assert conc[-1] > conc[0]
     # greedy-by-count proxy should cover a sizable fraction with 50 vertices
     assert conc[-1] > 0.3
+
+
+def test_concentration_tie_break_lowest_id():
+    # two vertices tied on raw count: the concentration order must take
+    # the LOWEST id first (the convention greedy selection uses), which
+    # a reversed stable ascending argsort gets backwards
+    tied = RRRCollection.from_sets([[1], [1], [4], [4], [0]], n=6)
+    conc = coverage_concentration(tied, top_k=2)
+    # taking 1 then 4 covers 2/5 then 4/5; any other tied order differs
+    assert conc[0] == pytest.approx(2 / 5)
+    assert conc[1] == pytest.approx(4 / 5)
+    order = np.argsort(-tied.counts, kind="stable")[:3]
+    assert list(order) == [1, 4, 0]

@@ -1,13 +1,24 @@
 import numpy as np
 import pytest
 
-from repro.imm import select_seeds
+from repro.imm import CoverageIndex, select_seeds
+from repro.imm.seed_selection import STRATEGIES
 from repro.rrr import RRRCollection, sample_rrr_ic
 from repro.utils.errors import ValidationError
 
 
 def _coll(sets, n):
     return RRRCollection.from_sets(sets, n=n)
+
+
+def _assert_identical(a, b):
+    assert np.array_equal(a.seeds, b.seeds)
+    assert a.covered_sets == b.covered_sets
+    assert np.array_equal(a.marginal_gains, b.marginal_gains)
+    assert np.array_equal(a.stats.sets_scanned, b.stats.sets_scanned)
+    assert np.array_equal(a.stats.sets_found, b.stats.sets_found)
+    assert np.array_equal(a.stats.elements_decremented, b.stats.elements_decremented)
+    assert a.stats.avg_set_size == b.stats.avg_set_size
 
 
 def test_picks_max_count_vertex_first():
@@ -40,22 +51,53 @@ def test_counts_are_marginal_not_absolute():
 
 def test_tie_break_lowest_id():
     coll = _coll([[5], [7]], n=8)
-    res = select_seeds(coll, 1)
-    assert res.seeds[0] == 5
+    for strategy in STRATEGIES:
+        res = select_seeds(coll, 1, strategy)
+        assert res.seeds[0] == 5
 
 
-def test_reference_matches_fast_on_random_samples(small_ic_graph):
+def test_lazy_tie_break_after_decrements():
+    # vertices 2 and 5 end round 2 tied; the heap must surface 2 first
+    # even though 5's stale entry ranked higher before the decrement
+    coll = _coll([[0, 5], [0, 5], [0, 2], [2], [5]], n=6)
+    for strategy in STRATEGIES:
+        res = select_seeds(coll, 2, strategy)
+        assert list(res.seeds) == [0, 2], strategy
+
+
+def test_all_strategies_identical_on_random_samples(small_ic_graph):
     coll, _ = sample_rrr_ic(small_ic_graph, 600, rng=3)
     fast = select_seeds(coll, 8, "fast")
-    ref = select_seeds(coll, 8, "reference")
-    assert np.array_equal(fast.seeds, ref.seeds)
-    assert fast.covered_sets == ref.covered_sets
-    assert np.array_equal(fast.marginal_gains, ref.marginal_gains)
-    assert np.array_equal(fast.stats.sets_scanned, ref.stats.sets_scanned)
-    assert np.array_equal(fast.stats.sets_found, ref.stats.sets_found)
-    assert np.array_equal(
-        fast.stats.elements_decremented, ref.stats.elements_decremented
-    )
+    for other in ("lazy", "reference"):
+        _assert_identical(fast, select_seeds(coll, 8, other))
+
+
+def test_lazy_with_index_matches_fast(small_ic_graph):
+    coll, _ = sample_rrr_ic(small_ic_graph, 500, rng=7)
+    index = CoverageIndex.build(coll)
+    fast = select_seeds(coll, 10, "fast")
+    _assert_identical(fast, select_seeds(coll, 10, "fast", index=index))
+    _assert_identical(fast, select_seeds(coll, 10, "lazy", index=index))
+
+
+def test_index_over_longer_stream_serves_prefix(small_ic_graph):
+    coll, _ = sample_rrr_ic(small_ic_graph, 500, rng=8)
+    index = CoverageIndex.build(coll)  # covers all 500 sets
+    for num_sets in (1, 137, 499):
+        prefix = coll.prefix(num_sets)
+        plain = select_seeds(prefix, 5)
+        _assert_identical(plain, select_seeds(prefix, 5, "fast", index=index))
+        _assert_identical(plain, select_seeds(prefix, 5, "lazy", index=index))
+
+
+def test_stale_index_rejected(small_ic_graph):
+    coll, _ = sample_rrr_ic(small_ic_graph, 100, rng=9)
+    index = CoverageIndex.build(coll.prefix(40))
+    with pytest.raises(ValidationError):
+        select_seeds(coll, 3, index=index)  # index is behind the collection
+    other = CoverageIndex(coll.n + 1)
+    with pytest.raises(ValidationError):
+        select_seeds(coll, 3, index=other)
 
 
 def test_selection_stats_shapes():
@@ -101,7 +143,7 @@ def test_no_duplicate_seeds_after_saturation():
     # regression: once every set is covered, argmax over all-zero counts
     # used to return vertex 0 forever, yielding duplicate seeds
     coll = _coll([[0], [0]], n=4)
-    for strategy in ("fast", "reference"):
+    for strategy in STRATEGIES:
         res = select_seeds(coll, 4, strategy)
         assert sorted(res.seeds.tolist()) == [0, 1, 2, 3]
         assert len(set(res.seeds.tolist())) == res.seeds.size
@@ -129,3 +171,41 @@ def test_distinct_seeds_on_random_collection(small_ic_graph):
     coll, _ = sample_rrr_ic(small_ic_graph, 400, rng=9)
     res = select_seeds(coll, small_ic_graph.n)  # k == n, maximal stress
     assert len(set(res.seeds.tolist())) == small_ic_graph.n
+
+
+def test_lazy_distinct_seeds_k_equals_n(small_ic_graph):
+    coll, _ = sample_rrr_ic(small_ic_graph, 400, rng=9)
+    fast = select_seeds(coll, small_ic_graph.n, "fast")
+    lazy = select_seeds(coll, small_ic_graph.n, "lazy")
+    _assert_identical(fast, lazy)
+
+
+def test_lazy_publishes_pop_counters(small_ic_graph):
+    from repro import obs
+
+    coll, _ = sample_rrr_ic(small_ic_graph, 300, rng=10)
+    with obs.profiled() as handle:
+        select_seeds(coll, 6, "lazy")
+    counters = handle.report().counters
+    # one pop per selected seed at minimum; re-evals are heap repushes
+    assert counters.get("selection.lazy.pops", 0) >= 6
+    assert counters.get("selection.lazy.pops", 0) == (
+        6 + counters.get("selection.lazy.reevals", 0)
+    )
+
+
+def test_index_counters_distinguish_build_from_reuse(small_ic_graph):
+    from repro import obs
+
+    coll, _ = sample_rrr_ic(small_ic_graph, 200, rng=11)
+    with obs.profiled() as handle:
+        select_seeds(coll, 4)  # no index passed: builds a throwaway one
+    built = handle.report().counters.get("selection.index.built_elements", 0)
+    assert built == coll.total_elements
+
+    index = CoverageIndex.build(coll)
+    with obs.profiled() as handle:
+        select_seeds(coll, 4, index=index)
+    counters = handle.report().counters
+    assert counters.get("selection.index.built_elements", 0) == 0
+    assert counters.get("selection.index.served_elements", 0) == coll.total_elements
