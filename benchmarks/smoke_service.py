@@ -1,0 +1,149 @@
+"""Serving-tier smoke benchmark — writes ``BENCH_pr7_service.json``.
+
+CI-sized check of the influence-query service (PR 7) on the WV tiny
+dataset, three gates:
+
+* **determinism** — every seed set the service returns, at every cache
+  tier, is bit-identical to a direct ``run_imm`` against a fresh
+  same-identity store;
+* **coalescing** — a concurrent 8-query burst of ``(k, ε)`` variants
+  sharing one stream identity samples **>= 3x fewer** RRR sets through
+  the service (one shared substrate, O(max θ)) than the same 8 queries
+  as independent runs (O(Σθ));
+* **exact cache** — repeating the whole burst samples **0** new sets
+  and answers every query from the ``exact`` tier.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/smoke_service.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.imm.imm import run_imm
+from repro.imm.options import IMMOptions
+from repro.rrr.store import RRRStore
+from repro.service import InfluenceQuery, InfluenceService, ServiceOptions
+
+DATASET = "WV"
+CHUNK_SETS = 512
+#: the burst: 8 (k, eps) cells over one stream identity — a k-sweep with
+#: two epsilons, the dashboard-fanning-out-variants pattern
+BURST = [(k, eps) for k in (2, 4, 8, 16) for eps in (0.25, 0.3)]
+OPTIONS = IMMOptions(model="IC")
+
+
+def _graph():
+    config = ExperimentConfig.from_env(scale="tiny", datasets=(DATASET,), seed=11)
+    return config.graph(DATASET, "IC")
+
+
+def run_direct(graph) -> dict:
+    """Ground truth: every cell independently, each on a fresh store."""
+    start = time.perf_counter()
+    results = {}
+    sampled = 0
+    for k, eps in BURST:
+        store = RRRStore(graph, model=OPTIONS.model, chunk_sets=CHUNK_SETS)
+        results[(k, eps)] = run_imm(graph, k, eps, options=OPTIONS, store=store)
+        sampled += store.num_cached
+        store.close()
+    return {
+        "seconds": round(time.perf_counter() - start, 4),
+        "sampled_sets": int(sampled),
+        "results": results,
+    }
+
+
+def run_burst(service) -> dict:
+    """The same 8 cells as one concurrent burst through the service."""
+    queries = [
+        InfluenceQuery("g", k=k, epsilon=eps, options=OPTIONS)
+        for k, eps in BURST
+    ]
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=len(queries)) as clients:
+        outcomes = list(clients.map(service.query, queries))
+    return {
+        "seconds": round(time.perf_counter() - start, 4),
+        "sampled_sets": int(sum(o.sampled_sets for o in outcomes)),
+        "tiers": sorted(o.cache_tier for o in outcomes),
+        "coalesced": int(sum(o.coalesced for o in outcomes)),
+        "outcomes": {(q.k, q.epsilon): o for q, o in zip(queries, outcomes)},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_pr7_service.json"),
+        help="output JSON path (default: <repo root>/BENCH_pr7_service.json)",
+    )
+    args = parser.parse_args(argv)
+
+    graph = _graph()
+    direct = run_direct(graph)
+
+    service = InfluenceService(
+        ServiceOptions(max_inflight=4, max_queue_depth=64,
+                       chunk_sets=CHUNK_SETS)
+    )
+    service.register_graph("g", graph)
+    try:
+        burst = run_burst(service)
+        repeat = run_burst(service)
+    finally:
+        service.close()
+
+    mismatches = []
+    for cell, truth in direct["results"].items():
+        for phase, outcomes in (("burst", burst), ("repeat", repeat)):
+            outcome = outcomes["outcomes"][cell]
+            if not np.array_equal(outcome.seeds, truth.seeds):
+                mismatches.append({"cell": list(cell), "phase": phase})
+
+    ratio = direct["sampled_sets"] / max(burst["sampled_sets"], 1)
+    report = {
+        "benchmark": "pr7_service",
+        "dataset": DATASET,
+        "burst": [list(c) for c in BURST],
+        "chunk_sets": CHUNK_SETS,
+        "direct": {k: direct[k] for k in ("seconds", "sampled_sets")},
+        "service_burst": {k: burst[k] for k in
+                          ("seconds", "sampled_sets", "tiers", "coalesced")},
+        "service_repeat": {k: repeat[k] for k in
+                           ("seconds", "sampled_sets", "tiers")},
+        "coalescing_ratio": round(ratio, 3),
+        "seeds_bit_identical": not mismatches,
+        "mismatches": mismatches,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    print(f"[written to {args.out}]")
+
+    if mismatches:
+        print("FAIL: service seeds diverged from direct run_imm")
+        return 1
+    if ratio < 3.0:
+        print(f"FAIL: coalescing ratio {ratio:.2f} < 3.0 "
+              f"(direct {direct['sampled_sets']} vs burst {burst['sampled_sets']})")
+        return 1
+    if repeat["sampled_sets"] != 0 or set(repeat["tiers"]) != {"exact"}:
+        print(f"FAIL: repeated burst was not a pure exact-cache hit "
+              f"(sampled {repeat['sampled_sets']}, tiers {repeat['tiers']})")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,9 @@ Commands
     Run eIM/gIM/cuRipples on one dataset and print the comparison.
 ``experiment``
     Regenerate one of the paper's tables/figures by name.
+``serve``
+    Run the influence-query service: JSON-lines requests over TCP, or
+    batch mode reading requests from stdin (one per line).
 """
 
 from __future__ import annotations
@@ -138,6 +141,31 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
     experiment.add_argument("--datasets", help="comma-separated code subset")
     experiment.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"])
+
+    serve = sub.add_parser(
+        "serve", help="serve influence queries (JSON-lines over TCP or stdin)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7473,
+                       help="TCP port (0 = ephemeral); ignored with --stdin")
+    serve.add_argument("--stdin", action="store_true",
+                       help="batch mode: read one JSON request per line from "
+                            "stdin, write one JSON response per line to stdout")
+    serve.add_argument("--max-inflight", type=int, default=2,
+                       help="concurrent query executions (worker threads)")
+    serve.add_argument("--max-queue-depth", type=int, default=64,
+                       help="admitted-but-waiting queries before submits are "
+                            "rejected with ServiceOverloadedError")
+    serve.add_argument("--max-substrates", type=int, default=8,
+                       help="warm sampling substrates (RRR store + coverage "
+                            "index) kept resident, LRU beyond that")
+    serve.add_argument("--exact-cache-size", type=int, default=128,
+                       help="finished results kept for exact repeat hits")
+    serve.add_argument("--chunk-sets", type=int, default=1024,
+                       help="substrate RRR chunk granularity")
+    serve.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="persist substrate chunks under DIR so a "
+                            "restarted service warm-starts from disk")
     return parser
 
 
@@ -259,6 +287,29 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import InfluenceService, ServiceOptions
+    from repro.service.server import serve_stdin, serve_tcp
+
+    options = ServiceOptions(
+        max_inflight=args.max_inflight,
+        max_queue_depth=args.max_queue_depth,
+        exact_cache_size=args.exact_cache_size,
+        max_substrates=args.max_substrates,
+        chunk_sets=args.chunk_sets,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    with InfluenceService(options) as service:
+        if args.stdin:
+            served = serve_stdin(service, sys.stdin, sys.stdout)
+            print(f"served {served} requests", file=sys.stderr)
+        else:
+            print(f"serving on {args.host}:{args.port} "
+                  f"(JSON-lines; Ctrl-C to stop)", file=sys.stderr)
+            serve_tcp(service, args.host, args.port)
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -266,6 +317,7 @@ def main(argv=None) -> int:
         "seeds": _cmd_seeds,
         "compare": _cmd_compare,
         "experiment": _cmd_experiment,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -8,6 +8,8 @@ from typing import Optional
 
 import numpy as np
 
+import warnings
+
 from repro import obs
 from repro.gpu.cost_model import CostModel
 from repro.gpu.device import DeviceSpec, SimulatedDevice
@@ -15,7 +17,18 @@ from repro.graphs.csc import DirectedGraph
 from repro.imm.bounds import BoundsConfig
 from repro.imm.imm import IMMResult, run_imm
 from repro.imm.options import IMMOptions
-from repro.utils.errors import DeviceOOMError
+from repro.utils.errors import DeviceOOMError, ValidationError
+
+_UNSET = object()
+
+#: legacy Engine.run keywords that moved into IMMOptions, in signature order
+_LEGACY_RUN_KWARGS = (
+    "model",
+    "bounds",
+    "n_jobs",
+    "resilience",
+    "selection_strategy",
+)
 
 
 @dataclass
@@ -65,18 +78,31 @@ class Engine(ABC):
         graph: DirectedGraph,
         k: int,
         epsilon: float,
-        model: str = "IC",
+        model=_UNSET,
         rng=None,
-        bounds: BoundsConfig | None = None,
+        bounds=_UNSET,
         device_spec: DeviceSpec | None = None,
         imm_result: IMMResult | None = None,
         pool=None,
         store=None,
-        n_jobs: int = 1,
-        resilience=None,
-        selection_strategy: str = "fast",
+        n_jobs=_UNSET,
+        resilience=_UNSET,
+        selection_strategy=_UNSET,
+        *,
+        options: IMMOptions | None = None,
     ) -> EngineResult:
         """Execute the engine and return seeds plus modeled device costs.
+
+        The stable call shape — identical across all four engines and
+        mirroring :func:`~repro.imm.imm.run_imm` — is
+        ``engine.run(graph, k, epsilon, options=IMMOptions(...))``.  The
+        old per-knob keywords (``model=``, ``bounds=``, ``n_jobs=``,
+        ``resilience=``, ``selection_strategy=``) keep working through a
+        deprecation shim (removal in repro 2.0) but cannot be mixed with
+        ``options=``.  ``options.eliminate_sources`` is overridden by
+        the engine's own ``eliminate_sources`` — source elimination is
+        an engine property (only eIM implements §3.4), not a workload
+        knob.
 
         ``imm_result`` lets the harness share one algorithmic run between
         engines with identical sampling semantics (gIM and cuRipples);
@@ -89,11 +115,16 @@ class Engine(ABC):
         share a single resident worker pool and, in sweeps, top up one
         cached sample instead of resampling.
 
-        ``selection_strategy`` picks the host greedy implementation
-        (``fast`` / ``lazy`` / ``reference``); all are bit-identical in
-        seeds and :class:`SelectionStats`, so modeled device costs do
-        not depend on it.
+        ``options.selection_strategy`` picks the host greedy
+        implementation (``fast`` / ``lazy`` / ``reference``); all are
+        bit-identical in seeds and :class:`SelectionStats`, so modeled
+        device costs do not depend on it.
         """
+        options = self._resolve_options(
+            options, model, bounds, n_jobs, resilience, selection_strategy
+        )
+        if pool is not None:
+            options = options.replace(n_jobs=pool.n_jobs)
         device = SimulatedDevice(self._adapt_spec(device_spec))
         cost = CostModel(device.spec)
         if imm_result is None:
@@ -102,14 +133,7 @@ class Engine(ABC):
                 k,
                 epsilon,
                 rng=rng,
-                options=IMMOptions(
-                    model=model,
-                    eliminate_sources=self.eliminate_sources,
-                    bounds=bounds,
-                    n_jobs=pool.n_jobs if pool is not None else n_jobs,
-                    resilience=resilience,
-                    selection_strategy=selection_strategy,
-                ),
+                options=options,
                 pool=pool,
                 store=store,
             )
@@ -124,7 +148,7 @@ class Engine(ABC):
             self._publish_metrics(device)
             return EngineResult(
                 engine=self.name,
-                model=model.upper(),
+                model=options.model,
                 k=k,
                 epsilon=epsilon,
                 seeds=None,
@@ -141,7 +165,7 @@ class Engine(ABC):
             )
         return EngineResult(
             engine=self.name,
-            model=model.upper(),
+            model=options.model,
             k=k,
             epsilon=epsilon,
             seeds=imm_result.seeds,
@@ -156,6 +180,45 @@ class Engine(ABC):
             breakdown=device.breakdown(),
             imm=imm_result,
         )
+
+    def _resolve_options(
+        self, options, model, bounds, n_jobs, resilience, selection_strategy
+    ) -> IMMOptions:
+        """Fold the legacy per-knob keywords into one ``IMMOptions``.
+
+        Mirrors the :func:`~repro.imm.imm.run_imm` shim: legacy keywords
+        and ``options=`` are mutually exclusive; legacy use warns with
+        the removal release.  Whatever the source, the engine's own
+        ``eliminate_sources`` wins — it is part of what the engine *is*.
+        """
+        legacy = {
+            name: value
+            for name, value in zip(
+                _LEGACY_RUN_KWARGS,
+                (model, bounds, n_jobs, resilience, selection_strategy),
+            )
+            if value is not _UNSET
+        }
+        if options is not None and legacy:
+            raise ValidationError(
+                "pass options=IMMOptions(...) or the legacy keywords "
+                f"({', '.join(sorted(legacy))}), not both"
+            )
+        if options is None:
+            if legacy:
+                warnings.warn(
+                    f"{type(self).__name__}.run's per-knob keywords are "
+                    "deprecated and will be removed in repro 2.0; pass "
+                    "options=IMMOptions("
+                    + ", ".join(f"{k}=..." for k in sorted(legacy))
+                    + ")",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+            options = IMMOptions(**legacy)
+        elif not isinstance(options, IMMOptions):
+            raise ValidationError("options must be an IMMOptions instance")
+        return options.replace(eliminate_sources=self.eliminate_sources)
 
     def _publish_metrics(self, device: SimulatedDevice) -> None:
         """Publish the device's cycle breakdown and peak memory into the

@@ -18,6 +18,7 @@ from repro.experiments.runner import compare_engines
 from repro.gpu.cost_model import CostModel
 from repro.imm.imm import run_imm
 from repro.imm.coverage import CoverageIndex
+from repro.imm.options import IMMOptions
 from repro.imm.seed_selection import select_seeds
 from repro.rrr import get_sampler
 from repro.utils.rng import spawn_generators
@@ -155,13 +156,14 @@ def _source_elim_runs(config: ExperimentConfig, k: int, epsilon: float):
         graph = config.graph(code, "IC")
         k_eff = min(k, graph.n)
         streams = spawn_generators(config.seed, 2)
+        sweep_options = IMMOptions(model="IC", bounds=config.bounds(sweep=True))
         with_elim = EIMEngine(eliminate_sources=True).run(
-            graph, k_eff, epsilon, "IC", rng=streams[0],
-            bounds=config.bounds(sweep=True), device_spec=config.device(),
+            graph, k_eff, epsilon, rng=streams[0],
+            device_spec=config.device(), options=sweep_options,
         )
         without = EIMEngine(eliminate_sources=False).run(
-            graph, k_eff, epsilon, "IC", rng=streams[1],
-            bounds=config.bounds(sweep=True), device_spec=config.device(),
+            graph, k_eff, epsilon, rng=streams[1],
+            device_spec=config.device(), options=sweep_options,
         )
         singleton_pct = 100.0 * without.imm.trace.raw_singleton_fraction
         rows.append((code, singleton_pct, with_elim, without))

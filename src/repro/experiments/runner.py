@@ -192,11 +192,14 @@ def compare_engines(
         # the sweep alive
         try:
             eim_runs.append(
-                eim_engine.run(graph, k_eff, epsilon, model, rng=rng_eim,
-                               bounds=bounds, device_spec=device,
-                               pool=pool, store=eim_store, n_jobs=config.n_jobs,
-                               resilience=resilience,
-                               selection_strategy=config.selection_strategy)
+                eim_engine.run(graph, k_eff, epsilon, rng=rng_eim,
+                               device_spec=device, pool=pool, store=eim_store,
+                               options=IMMOptions(
+                                   model=model, bounds=bounds,
+                                   n_jobs=config.n_jobs,
+                                   resilience=resilience,
+                                   selection_strategy=config.selection_strategy,
+                               ))
             )
         except MemoryError as exc:
             eim_runs.append(_host_oom_result("eim", model, k_eff, epsilon, exc))
@@ -218,13 +221,15 @@ def compare_engines(
                 )
             continue
         gim_runs.append(
-            gim_engine.run(graph, k_eff, epsilon, model, bounds=bounds,
-                           device_spec=device, imm_result=vanilla)
+            gim_engine.run(graph, k_eff, epsilon, device_spec=device,
+                           imm_result=vanilla,
+                           options=IMMOptions(model=model, bounds=bounds))
         )
         if cur_engine is not None:
             cur_runs.append(
-                cur_engine.run(graph, k_eff, epsilon, model, bounds=bounds,
-                               device_spec=device, imm_result=vanilla)
+                cur_engine.run(graph, k_eff, epsilon, device_spec=device,
+                               imm_result=vanilla,
+                               options=IMMOptions(model=model, bounds=bounds))
             )
     return ComparisonRow(
         dataset=code,

@@ -165,7 +165,8 @@ def run_imm(
     if options is None:
         if legacy:
             warnings.warn(
-                "run_imm's per-knob keywords are deprecated; pass "
+                "run_imm's per-knob keywords are deprecated and will be "
+                "removed in repro 2.0; pass "
                 "options=IMMOptions(" + ", ".join(f"{k}=..." for k in sorted(legacy)) + ")",
                 DeprecationWarning,
                 stacklevel=2,

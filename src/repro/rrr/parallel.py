@@ -51,6 +51,7 @@ rides on the returned trace.
 from __future__ import annotations
 
 import atexit
+import threading
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor, wait
@@ -195,6 +196,10 @@ class SamplerPool:
         self._shared_graph: "Optional[SharedGraph]" = None
         self._ever_started = False
         self._closed = False
+        # guards executor creation: different-key substrates served by
+        # concurrent threads can share one pool, and two racing
+        # _ensure_executor calls must not each start a worker fleet
+        self._exec_lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------------
     @property
@@ -242,33 +247,34 @@ class SamplerPool:
         )
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
-        if self._executor is None:
-            rebuild = self._ever_started
-            start = time.monotonic()
-            context = None
-            if self.mp_context is not None:
-                import multiprocessing
+        with self._exec_lock:
+            if self._executor is None:
+                rebuild = self._ever_started
+                start = time.monotonic()
+                context = None
+                if self.mp_context is not None:
+                    import multiprocessing
 
-                context = multiprocessing.get_context(self.mp_context)
-            with obs.span("rrr.parallel.pool_start"):
-                self._executor = ProcessPoolExecutor(
-                    max_workers=self.n_jobs,
-                    mp_context=context,
-                    initializer=_init_worker,
-                    initargs=self._initializer_args(),
-                )
-            self._ever_started = True
-            if rebuild:
-                # the satellite metric: how fast a rebuilt executor got
-                # its graph back (reattach on shm, full reship on pickle)
-                obs.counter_add(
-                    "rrr.parallel.rebuild_attach_seconds",
-                    time.monotonic() - start,
-                )
-            obs.counter_add("rrr.parallel.pool_created", 1)
-        else:
-            obs.counter_add("rrr.parallel.pool_reused", 1)
-        return self._executor
+                    context = multiprocessing.get_context(self.mp_context)
+                with obs.span("rrr.parallel.pool_start"):
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self.n_jobs,
+                        mp_context=context,
+                        initializer=_init_worker,
+                        initargs=self._initializer_args(),
+                    )
+                self._ever_started = True
+                if rebuild:
+                    # the satellite metric: how fast a rebuilt executor got
+                    # its graph back (reattach on shm, full reship on pickle)
+                    obs.counter_add(
+                        "rrr.parallel.rebuild_attach_seconds",
+                        time.monotonic() - start,
+                    )
+                obs.counter_add("rrr.parallel.pool_created", 1)
+            else:
+                obs.counter_add("rrr.parallel.pool_reused", 1)
+            return self._executor
 
     def _abandon_executor(self, terminate: bool) -> None:
         """Drop the executor (broken, or holding hung workers).
@@ -590,6 +596,10 @@ class SamplerPool:
 #: share workers.  :func:`shutdown_pools` runs at interpreter exit (atexit)
 #: so resident executors can never leave orphaned workers behind.
 _POOLS: dict[tuple[str, int, str], SamplerPool] = {}
+# concurrent service workers share this registry; the lock makes
+# lookup-evict-create atomic so two same-key callers never each start a
+# worker fleet
+_POOLS_LOCK = threading.Lock()
 
 
 def shared_pool(
@@ -606,22 +616,25 @@ def shared_pool(
     """
     plane = resolve_data_plane(data_plane)
     key = (graph.fingerprint(), int(n_jobs), plane)
-    pool = _POOLS.get(key)
-    if pool is not None and pool.closed:
-        _POOLS.pop(key, None)
-        obs.counter_add("rrr.parallel.pool_evicted", 1)
-        pool = None
-    if pool is None:
-        pool = SamplerPool(graph, n_jobs, data_plane=plane)
-        _POOLS[key] = pool
-    return pool
+    with _POOLS_LOCK:
+        pool = _POOLS.get(key)
+        if pool is not None and pool.closed:
+            _POOLS.pop(key, None)
+            obs.counter_add("rrr.parallel.pool_evicted", 1)
+            pool = None
+        if pool is None:
+            pool = SamplerPool(graph, n_jobs, data_plane=plane)
+            _POOLS[key] = pool
+        return pool
 
 
 def shutdown_pools() -> None:
     """Close every shared pool (tests, long-lived services, atexit)."""
-    for pool in _POOLS.values():
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
         pool.close()
-    _POOLS.clear()
 
 
 # resident executors must not outlive the interpreter: without this a

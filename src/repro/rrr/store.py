@@ -41,6 +41,7 @@ resumed store is bit-identical to an uninterrupted one.
 from __future__ import annotations
 
 import atexit
+import threading
 from pathlib import Path
 from typing import Optional
 
@@ -348,6 +349,10 @@ class RRRStore:
 
 # -- shared store registry ---------------------------------------------------
 _STORES: dict[tuple, RRRStore] = {}
+# the registry is hit from concurrent service workers; without the lock
+# two same-key lookups could both miss and build duplicate stores, each
+# re-sampling the stream the other already paid for
+_STORES_LOCK = threading.Lock()
 
 
 def shared_store(
@@ -377,37 +382,51 @@ def shared_store(
     dropped, so the next top-up re-acquires a live :func:`shared_pool`)
     — stale registry state can never serve a dead executor.
     """
-    store = RRRStore(
-        graph,
-        model=model,
-        eliminate_sources=eliminate_sources,
-        entropy=entropy,
-        n_jobs=n_jobs,
-        pool=pool,
-        chunk_sets=chunk_sets,
-        batch_size=batch_size,
-        checkpoint_dir=checkpoint_dir,
-        resilience=resilience,
-        data_plane=data_plane,
+    # the key is computed without constructing a store so a cache hit
+    # does no work; it must mirror RRRStore.key() (asserted below)
+    key = (
+        graph.fingerprint(),
+        str(model).upper(),
+        bool(eliminate_sources),
+        _normalize_entropy(entropy),
+        int(n_jobs),
+        int(chunk_sets),
+        int(batch_size),
     )
-    key = store.key()
-    cached = _STORES.get(key)
-    if cached is not None:
-        if cached._pool is not None and cached._pool.closed:
-            cached._pool = None
-            obs.counter_add("rrr.store.pool_healed", 1)
-        obs.counter_add("rrr.store.shared_hits", 1)
-        return cached
-    _STORES[key] = store
-    return store
+    with _STORES_LOCK:
+        cached = _STORES.get(key)
+        if cached is not None:
+            if cached._pool is not None and cached._pool.closed:
+                cached._pool = None
+                obs.counter_add("rrr.store.pool_healed", 1)
+            obs.counter_add("rrr.store.shared_hits", 1)
+            return cached
+        store = RRRStore(
+            graph,
+            model=model,
+            eliminate_sources=eliminate_sources,
+            entropy=entropy,
+            n_jobs=n_jobs,
+            pool=pool,
+            chunk_sets=chunk_sets,
+            batch_size=batch_size,
+            checkpoint_dir=checkpoint_dir,
+            resilience=resilience,
+            data_plane=data_plane,
+        )
+        assert store.key() == key
+        _STORES[key] = store
+        return store
 
 
 def clear_stores() -> None:
     """Drop every shared store, releasing their shared-memory arenas
     (tests and memory-pressure relief)."""
-    for store in _STORES.values():
+    with _STORES_LOCK:
+        stores = list(_STORES.values())
+        _STORES.clear()
+    for store in stores:
         store.close()
-    _STORES.clear()
 
 
 # like the pool registry's shutdown_pools hook: resident arenas must not

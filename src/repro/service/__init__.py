@@ -1,0 +1,26 @@
+"""repro.service — the asynchronous influence-query serving tier.
+
+See :mod:`repro.service.service` for the architecture overview
+(admission control, coalescing, multi-tier caching) and
+``docs/architecture.md`` ("Serving") for the operator's view.
+"""
+
+from repro.service.options import ServiceOptions
+from repro.service.query import CACHE_TIERS, InfluenceQuery, QueryOutcome
+from repro.service.service import InfluenceService
+from repro.utils.errors import (
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+
+__all__ = [
+    "CACHE_TIERS",
+    "InfluenceQuery",
+    "InfluenceService",
+    "QueryOutcome",
+    "ServiceClosedError",
+    "ServiceError",
+    "ServiceOptions",
+    "ServiceOverloadedError",
+]

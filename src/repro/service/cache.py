@@ -1,0 +1,146 @@
+"""The service's multi-tier result cache.
+
+Two tiers, from cheapest to most expensive:
+
+* **Tier 1 — exact results** (:class:`ExactResultCache`): an LRU of
+  finished :class:`~repro.imm.imm.IMMResult` objects keyed by the full
+  result key.  A repeat query costs a dictionary lookup and samples
+  zero new RRR sets.
+* **Tier 2 — sampling substrates** (:class:`SubstrateTable`): an LRU of
+  :class:`Substrate` objects — one warm-start
+  :class:`~repro.rrr.store.RRRStore` (whose chunks are
+  prefix-deterministic) plus the persistent
+  :class:`~repro.imm.coverage.CoverageIndex` riding on it — keyed by
+  the coalescing key.  A new ``(k, ε)`` against a warm substrate reuses
+  the indexed RRR prefix and only re-runs lazy selection; only a theta
+  beyond the cached prefix samples, and only the deficit.
+
+Both tiers are thread-safe; the substrate table additionally tracks
+in-flight use so eviction never closes a store a worker is reading.
+Evictions are published as ``service.evictions``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro import obs
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.imm.imm import IMMResult
+    from repro.rrr.store import RRRStore
+
+
+class ExactResultCache:
+    """Thread-safe LRU over finished query results (tier 1)."""
+
+    def __init__(self, capacity: int):
+        self._capacity = int(capacity)
+        self._entries: "OrderedDict[tuple, IMMResult]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: tuple) -> "Optional[IMMResult]":
+        with self._lock:
+            result = self._entries.get(key)
+            if result is not None:
+                self._entries.move_to_end(key)
+            return result
+
+    def put(self, key: tuple, result: "IMMResult") -> None:
+        if self._capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                obs.counter_add("service.evictions", 1)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+@dataclass
+class Substrate:
+    """The shared sampling state behind one coalescing key.
+
+    ``lock`` serializes same-key queries onto the store (the coalescing
+    discipline: one ``ensure(max θ)`` stream, one index — never two
+    threads growing the same chunks).  ``inflight`` guards eviction;
+    ``queries`` counts lifetime traffic for introspection.
+    """
+
+    key: tuple
+    store: "RRRStore"
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    inflight: int = 0
+    queries: int = 0
+
+
+class SubstrateTable:
+    """Thread-safe LRU of sampling substrates (tier 2).
+
+    ``acquire`` returns the substrate for a key — creating it via
+    ``factory`` on first use — with its in-flight count already bumped,
+    so a concurrent eviction sweep cannot close it mid-query.  Callers
+    must pair every ``acquire`` with ``release``.
+    """
+
+    def __init__(self, capacity: int):
+        self._capacity = int(capacity)
+        self._entries: "OrderedDict[tuple, Substrate]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> list:
+        with self._lock:
+            return list(self._entries)
+
+    def acquire(self, key: tuple, factory) -> tuple[Substrate, bool]:
+        """``(substrate, was_warm)`` for ``key``, pinned against eviction."""
+        evicted: list[Substrate] = []
+        with self._lock:
+            substrate = self._entries.get(key)
+            warm = substrate is not None
+            if substrate is None:
+                substrate = Substrate(key=key, store=factory())
+                self._entries[key] = substrate
+                # evict least-recently-used *idle* substrates over capacity
+                while len(self._entries) > self._capacity:
+                    victim_key = next(
+                        (k for k, s in self._entries.items()
+                         if s.inflight == 0 and k != key),
+                        None,
+                    )
+                    if victim_key is None:
+                        break  # everything is busy; stay temporarily over
+                    evicted.append(self._entries.pop(victim_key))
+            self._entries.move_to_end(key)
+            substrate.inflight += 1
+            substrate.queries += 1
+        for victim in evicted:
+            victim.store.close()
+            obs.counter_add("service.evictions", 1)
+        return substrate, warm
+
+    def release(self, substrate: Substrate) -> None:
+        with self._lock:
+            substrate.inflight -= 1
+
+    def close(self) -> None:
+        """Close every substrate store (service shutdown)."""
+        with self._lock:
+            entries, self._entries = list(self._entries.values()), OrderedDict()
+        for substrate in entries:
+            substrate.store.close()

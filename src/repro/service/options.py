@@ -1,0 +1,74 @@
+"""Frozen configuration for the influence-query serving tier.
+
+:class:`ServiceOptions` follows the same frozen-options pattern as
+:class:`~repro.imm.options.IMMOptions` and
+:class:`~repro.resilience.options.ResilienceOptions`: hashable, eagerly
+validated, safely shareable.  It configures the *operational* envelope
+of an :class:`~repro.service.service.InfluenceService` — concurrency,
+queue depth, cache capacities — never the algorithm; algorithmic knobs
+ride on each query's own ``IMMOptions``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class ServiceOptions:
+    """Operational knobs of one :class:`InfluenceService`.
+
+    Attributes
+    ----------
+    max_inflight:
+        Worker threads executing queries concurrently.  Queries that
+        share a coalescing key are serialized onto one substrate
+        regardless, so raising this only helps mixed-key traffic.
+    max_queue_depth:
+        Queries allowed to wait for a worker.  A submit beyond this
+        raises :class:`~repro.utils.errors.ServiceOverloadedError`
+        (admission control / backpressure) instead of queueing unbounded.
+    exact_cache_size:
+        Capacity of the tier-1 exact result cache (LRU over
+        ``(stream key, k, epsilon, bounds, selection strategy)`` →
+        :class:`~repro.imm.imm.IMMResult`).  ``0`` disables the tier.
+    max_substrates:
+        Capacity of the tier-2 substrate table (LRU over coalescing key
+        → shared :class:`~repro.rrr.store.RRRStore` +
+        :class:`~repro.imm.coverage.CoverageIndex`).  Evicting a
+        substrate releases its cached RRR stream; queries on that key
+        start cold again.
+    chunk_sets:
+        Chunk granularity of the substrate stores (forwarded to
+        :class:`~repro.rrr.store.RRRStore`); part of each stream's
+        identity, so changing it changes every coalescing key.
+    checkpoint_dir:
+        Base directory for substrate chunk checkpoints (``None``
+        disables persistence); a restarted service re-warms its
+        substrates from disk.
+    """
+
+    max_inflight: int = 2
+    max_queue_depth: int = 64
+    exact_cache_size: int = 128
+    max_substrates: int = 8
+    chunk_sets: int = 1024
+    checkpoint_dir: str | None = None
+
+    def __post_init__(self):
+        if self.max_inflight < 1:
+            raise ValidationError("max_inflight must be >= 1")
+        if self.max_queue_depth < 1:
+            raise ValidationError("max_queue_depth must be >= 1")
+        if self.exact_cache_size < 0:
+            raise ValidationError("exact_cache_size must be >= 0")
+        if self.max_substrates < 1:
+            raise ValidationError("max_substrates must be >= 1")
+        if self.chunk_sets < 1:
+            raise ValidationError("chunk_sets must be >= 1")
+
+    def replace(self, **changes) -> "ServiceOptions":
+        """A copy with ``changes`` applied (frozen-dataclass convenience)."""
+        return replace(self, **changes)

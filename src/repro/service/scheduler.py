@@ -1,0 +1,152 @@
+"""Admission-controlled, coalescing-aware query scheduler.
+
+The scheduler is the service's traffic cop: a bounded FIFO feeding a
+fixed pool of worker threads.  Its three jobs:
+
+* **admission control** — at most ``max_queue_depth`` queries wait; a
+  submit beyond that fails fast with
+  :class:`~repro.utils.errors.ServiceOverloadedError` (counted as
+  ``service.admission_rejects``) instead of letting latency grow
+  unbounded.  ``service.queue_depth`` gauges the live depth.
+* **coalescing bookkeeping** — it tracks how many admitted queries
+  share each coalescing key; a query arriving while a same-key query is
+  queued or running is *coalesced* (``service.coalesced``): it will
+  ride the sibling's substrate, paying only the theta deficit.  The
+  actual sharing is enforced one level down by the substrate's lock —
+  the scheduler only needs to not fight it, which FIFO + per-key
+  serialization guarantees.
+* **fault isolation** — a query that raises (worker crash exhausting
+  its retry budget, validation error, simulated OOM) fails *its
+  future* (``service.errors``); the worker thread, and the service,
+  keep running.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro import obs
+from repro.service.query import InfluenceQuery
+from repro.utils.errors import ServiceClosedError, ServiceOverloadedError
+
+_SENTINEL = object()
+
+
+@dataclass
+class ScheduledJob:
+    """One admitted query riding the scheduler's queue."""
+
+    query: InfluenceQuery
+    key: tuple  # coalescing key, resolved at admission time
+    future: Future = field(default_factory=Future)
+    coalesced: bool = False
+
+
+class QueryScheduler:
+    """Bounded queue + worker threads executing one job at a time each."""
+
+    def __init__(
+        self,
+        max_inflight: int,
+        max_queue_depth: int,
+        execute: Callable[[ScheduledJob], object],
+    ):
+        self._execute = execute
+        self._max_queue_depth = int(max_queue_depth)
+        self._queue: "queue.Queue" = queue.Queue(maxsize=self._max_queue_depth)
+        self._active_keys: dict[tuple, int] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-service-worker-{i}",
+                daemon=True,
+            )
+            for i in range(int(max_inflight))
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- admission -----------------------------------------------------------
+    def submit(self, job: ScheduledJob) -> Future:
+        """Admit ``job`` (or reject it) and return its future."""
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        with self._lock:
+            active = self._active_keys.get(job.key, 0)
+            job.coalesced = active > 0
+            self._active_keys[job.key] = active + 1
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            self._release_key(job.key)
+            obs.counter_add("service.admission_rejects", 1)
+            raise ServiceOverloadedError(
+                self._queue.qsize(), self._max_queue_depth
+            ) from None
+        if job.coalesced:
+            obs.counter_add("service.coalesced", 1)
+        obs.gauge_max("service.queue_depth", self._queue.qsize())
+        return job.future
+
+    def _release_key(self, key: tuple) -> None:
+        with self._lock:
+            remaining = self._active_keys.get(key, 1) - 1
+            if remaining <= 0:
+                self._active_keys.pop(key, None)
+            else:
+                self._active_keys[key] = remaining
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    # -- execution -----------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is _SENTINEL:
+                self._queue.task_done()
+                return
+            if not job.future.set_running_or_notify_cancel():
+                self._release_key(job.key)
+                self._queue.task_done()
+                continue
+            try:
+                outcome = self._execute(job)
+            except BaseException as exc:  # noqa: BLE001 — isolate the worker
+                obs.counter_add("service.errors", 1)
+                job.future.set_exception(exc)
+            else:
+                job.future.set_result(outcome)
+            finally:
+                self._release_key(job.key)
+                self._queue.task_done()
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        """Stop admitting, drain the queue, and stop the workers."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            self._queue.put(_SENTINEL)
+        if wait:
+            for worker in self._workers:
+                worker.join()
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every admitted job has finished executing."""
+        if timeout is None:
+            self._queue.join()
+            return
+        done = threading.Event()
+        waiter = threading.Thread(target=lambda: (self._queue.join(), done.set()),
+                                  daemon=True)
+        waiter.start()
+        done.wait(timeout)

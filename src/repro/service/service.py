@@ -1,0 +1,245 @@
+"""`InfluenceService`: the asynchronous influence-query serving tier.
+
+Every caller used to drive :func:`~repro.imm.imm.run_imm` directly, so
+concurrent queries against the same graph each paid their own theta
+estimation and sampling.  The service turns the shareable substrate the
+library already has — prefix-deterministic
+:class:`~repro.rrr.store.RRRStore` streams and the persistent
+:class:`~repro.imm.coverage.CoverageIndex` — into a serving discipline:
+
+* queries are **admitted** through a bounded scheduler
+  (:class:`~repro.service.scheduler.QueryScheduler`): limited in-flight
+  work, limited queue depth, fail-fast
+  :class:`~repro.utils.errors.ServiceOverloadedError` backpressure;
+* compatible queries — same coalescing key (graph fingerprint, model,
+  elimination, entropy, fan-out/batch geometry) — are **coalesced**
+  onto one substrate: one ``RRRStore.ensure(max θ)`` stream and one
+  coverage index, so a burst of ``(k, ε)`` variants costs O(max θ)
+  sampling total instead of O(Σθ);
+* answers come out of a **multi-tier cache**
+  (:mod:`repro.service.cache`): exact repeats are served from the
+  result LRU without touching a sampler, new ``(k, ε)`` cells against a
+  warm substrate reuse the indexed RRR prefix and only re-run greedy
+  selection.
+
+Determinism is inherited, not re-proved: a substrate's stream is a pure
+function of its key, so every served seed set is bit-identical to a
+direct ``run_imm`` against a fresh store with the same identity —
+coalescing, caching, eviction, retries, and thread scheduling are all
+invisible in the results.
+
+Resilience: query execution runs under the library's supervised
+sampling pipeline (each query's ``IMMOptions.resilience``), so a
+crashed or hung worker *pool* degrades that query (retries, then serial
+fallback), and a query that still fails fails *its future* only — the
+service, its workers, and its caches keep serving.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Optional, Union
+
+from repro import obs
+from repro.graphs.csc import DirectedGraph
+from repro.imm.imm import IMMResult, run_imm
+from repro.service.cache import ExactResultCache, SubstrateTable
+from repro.service.options import ServiceOptions
+from repro.service.query import InfluenceQuery, QueryOutcome
+from repro.service.scheduler import QueryScheduler, ScheduledJob
+from repro.utils.errors import ServiceClosedError, ValidationError
+
+
+class InfluenceService:
+    """A long-lived server of influence-maximization queries.
+
+    Usage::
+
+        service = InfluenceService(ServiceOptions(max_inflight=4))
+        service.register_graph("wv", graph)
+        future = service.submit(InfluenceQuery("wv", k=10, epsilon=0.2))
+        outcome = future.result()        # QueryOutcome
+        print(outcome.seeds, outcome.cache_tier)
+
+    ``query()`` is the blocking convenience wrapper.  The service is
+    thread-safe: any number of client threads may submit concurrently.
+    """
+
+    def __init__(self, options: Optional[ServiceOptions] = None):
+        self.options = options if options is not None else ServiceOptions()
+        self._graphs: dict[str, DirectedGraph] = {}
+        self._graphs_lock = threading.Lock()
+        self._results = ExactResultCache(self.options.exact_cache_size)
+        self._substrates = SubstrateTable(self.options.max_substrates)
+        self._scheduler = QueryScheduler(
+            self.options.max_inflight,
+            self.options.max_queue_depth,
+            self._execute,
+        )
+        self._closed = False
+
+    # -- graph registry ------------------------------------------------------
+    def register_graph(self, name: str, graph: DirectedGraph) -> None:
+        """Register ``graph`` so queries can reference it by ``name``."""
+        if graph.weights is None:
+            raise ValidationError(
+                "service graphs must be weighted (assign_*_weights)"
+            )
+        with self._graphs_lock:
+            self._graphs[str(name)] = graph
+
+    def registered_graphs(self) -> tuple[str, ...]:
+        with self._graphs_lock:
+            return tuple(self._graphs)
+
+    def _resolve_graph(self, ref: Union[DirectedGraph, str]) -> DirectedGraph:
+        if isinstance(ref, DirectedGraph):
+            return ref
+        with self._graphs_lock:
+            graph = self._graphs.get(ref)
+        if graph is None:
+            raise ValidationError(
+                f"unknown graph {ref!r}; registered: "
+                f"{sorted(self._graphs) or 'none'}"
+            )
+        return graph
+
+    # -- querying ------------------------------------------------------------
+    def submit(self, query: InfluenceQuery) -> "Future[QueryOutcome]":
+        """Admit ``query`` and return a future for its outcome.
+
+        Raises :class:`~repro.utils.errors.ServiceOverloadedError` when
+        the queue is full (backpressure — retry later) and
+        :class:`~repro.utils.errors.ServiceClosedError` after
+        :meth:`close`.  Graph-reference and parameter validation happen
+        here, synchronously; execution failures fail the future.
+        """
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        graph = self._resolve_graph(query.graph)
+        if query.k > graph.n:
+            raise ValidationError(
+                f"k must be in [1, n]={graph.n}, got {query.k}"
+            )
+        key = query.coalesce_key(graph, self.options.chunk_sets)
+        obs.counter_add("service.queries", 1)
+        return self._scheduler.submit(ScheduledJob(query=query, key=key))
+
+    def query(self, query: InfluenceQuery,
+              timeout: Optional[float] = None) -> QueryOutcome:
+        """Blocking submit: admit ``query`` and wait for its outcome."""
+        return self.submit(query).result(timeout=timeout)
+
+    # -- execution (scheduler workers land here) -----------------------------
+    def _substrate_factory(self, query: InfluenceQuery, graph: DirectedGraph):
+        from repro.rrr.store import RRRStore
+
+        def factory():
+            return RRRStore(
+                graph,
+                model=query.options.model,
+                eliminate_sources=query.options.eliminate_sources,
+                entropy=query.entropy,
+                n_jobs=query.options.n_jobs,
+                chunk_sets=self.options.chunk_sets,
+                batch_size=query.options.batch_size,
+                checkpoint_dir=self.options.checkpoint_dir,
+                resilience=query.options.resilience,
+                data_plane=query.options.data_plane,
+            )
+
+        return factory
+
+    def _execute(self, job: ScheduledJob) -> QueryOutcome:
+        query = job.query
+        start = time.perf_counter()
+        with obs.span("service.query"):
+            graph = self._resolve_graph(query.graph)
+            result_key = query.result_key(graph, self.options.chunk_sets)
+            cached = self._results.get(result_key)
+            if cached is not None:
+                return self._hit(query, cached, "exact", start, job.coalesced)
+            substrate, warm = self._substrates.acquire(
+                job.key, self._substrate_factory(query, graph)
+            )
+            try:
+                with substrate.lock:
+                    # a coalesced sibling may have finished this exact
+                    # cell while we waited for the substrate
+                    cached = self._results.get(result_key)
+                    if cached is not None:
+                        return self._hit(
+                            query, cached, "exact", start, job.coalesced
+                        )
+                    assert substrate.store.key() == job.key  # by construction
+                    before = substrate.store.num_cached
+                    with obs.span("service.run"):
+                        result = run_imm(
+                            graph,
+                            query.k,
+                            query.epsilon,
+                            options=query.options,
+                            store=substrate.store,
+                        )
+                    sampled = substrate.store.num_cached - before
+            finally:
+                self._substrates.release(substrate)
+            tier = "prefix" if warm and sampled == 0 else "cold"
+            if tier == "prefix":
+                obs.counter_add("service.cache_hits", 1)
+                obs.counter_add("service.cache_hits.prefix", 1)
+            obs.counter_add("service.sampled_sets", sampled)
+            self._results.put(result_key, result)
+            return QueryOutcome(
+                query=query,
+                result=result,
+                cache_tier=tier,
+                sampled_sets=sampled,
+                seconds=time.perf_counter() - start,
+                coalesced=job.coalesced,
+            )
+
+    def _hit(self, query: InfluenceQuery, result: IMMResult, tier: str,
+             start: float, coalesced: bool) -> QueryOutcome:
+        obs.counter_add("service.cache_hits", 1)
+        obs.counter_add(f"service.cache_hits.{tier}", 1)
+        return QueryOutcome(
+            query=query,
+            result=result,
+            cache_tier=tier,
+            sampled_sets=0,
+            seconds=time.perf_counter() - start,
+            coalesced=coalesced,
+        )
+
+    # -- introspection / lifecycle -------------------------------------------
+    def stats(self) -> dict:
+        """A point-in-time snapshot of the service's state."""
+        return {
+            "closed": self._closed,
+            "queue_depth": self._scheduler.queue_depth,
+            "exact_cache_entries": len(self._results),
+            "substrates": len(self._substrates),
+            "registered_graphs": len(self._graphs),
+        }
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Wait for every admitted query to finish executing."""
+        self._scheduler.drain(timeout)
+
+    def close(self, wait: bool = True) -> None:
+        """Stop admitting queries, finish in-flight ones, free caches."""
+        if self._closed:
+            return
+        self._closed = True
+        self._scheduler.close(wait=wait)
+        self._substrates.close()
+        self._results.clear()
+
+    def __enter__(self) -> "InfluenceService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -41,6 +41,31 @@ class CheckpointError(ReproError, RuntimeError):
     """An RRR-store checkpoint is unusable (key mismatch, bad manifest)."""
 
 
+class ServiceError(ReproError, RuntimeError):
+    """Base class for influence-query service failures."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service refused admission: its queue is at capacity.
+
+    Backpressure, not a bug — the caller should retry later (or the
+    operator should raise ``ServiceOptions.max_queue_depth`` /
+    ``max_inflight``).  Carries the depth that triggered the rejection.
+    """
+
+    def __init__(self, queue_depth: int, max_queue_depth: int):
+        self.queue_depth = int(queue_depth)
+        self.max_queue_depth = int(max_queue_depth)
+        super().__init__(
+            f"service queue full ({queue_depth} queued, "
+            f"max_queue_depth={max_queue_depth}); retry later"
+        )
+
+
+class ServiceClosedError(ServiceError):
+    """A query was submitted to a service after :meth:`close`."""
+
+
 class DeviceOOMError(ReproError, MemoryError):
     """A simulated device allocation exceeded the device's global memory.
 

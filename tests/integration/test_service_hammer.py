@@ -1,0 +1,158 @@
+"""Concurrency hammer for the serving tier.
+
+N client threads fire a mixed burst of queries at one
+:class:`~repro.service.service.InfluenceService` and every answer must
+be bit-identical to a serial :func:`~repro.imm.imm.run_imm` against a
+fresh same-identity store — under clean conditions AND with
+``REPRO_FAULTS`` crashing sampler workers underneath the service.
+"""
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.imm.imm import run_imm
+from repro.imm.options import IMMOptions
+from repro.resilience import ResilienceOptions
+from repro.resilience.faults import ENV_VAR
+from repro.rrr.parallel import shutdown_pools
+from repro.rrr.store import RRRStore
+from repro.service import InfluenceQuery, InfluenceService, ServiceOptions
+
+CHUNK_SETS = 256
+WORKLOAD = [(k, eps) for k in (2, 4, 6, 8) for eps in (0.3, 0.35)]
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_faults(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    yield
+    shutdown_pools()
+
+
+def _serial_answers(graph, options):
+    """Ground truth: each cell against a fresh store, one at a time."""
+    answers = {}
+    for k, eps in WORKLOAD:
+        store = RRRStore(
+            graph,
+            model=options.model,
+            eliminate_sources=options.eliminate_sources,
+            n_jobs=options.n_jobs,
+            chunk_sets=CHUNK_SETS,
+            batch_size=options.batch_size,
+            resilience=options.resilience,
+        )
+        answers[(k, eps)] = run_imm(graph, k, eps, options=options,
+                                    store=store)
+        store.close()
+    return answers
+
+
+def _hammer(service, options, repeats=3):
+    """Fire the workload ``repeats``x from parallel client threads."""
+    queries = [
+        InfluenceQuery("g", k=k, epsilon=eps, options=options)
+        for k, eps in WORKLOAD
+    ] * repeats
+    with ThreadPoolExecutor(max_workers=8) as clients:
+        outcomes = list(clients.map(service.query, queries))
+    return queries, outcomes
+
+
+def test_hammer_bit_identical_to_serial(small_ic_graph):
+    options = IMMOptions()
+    expected = _serial_answers(small_ic_graph, options)
+    service = InfluenceService(
+        ServiceOptions(max_inflight=4, max_queue_depth=256,
+                       chunk_sets=CHUNK_SETS)
+    )
+    service.register_graph("g", small_ic_graph)
+    try:
+        queries, outcomes = _hammer(service, options)
+        for query, outcome in zip(queries, outcomes):
+            truth = expected[(query.k, query.epsilon)]
+            assert np.array_equal(outcome.seeds, truth.seeds), (
+                f"k={query.k} eps={query.epsilon} diverged"
+            )
+            assert outcome.result.theta == truth.theta
+        # one substrate total: every cell shares the stream identity
+        assert service.stats()["substrates"] == 1
+        # the burst coalesced: far fewer sets sampled than independent runs
+        total_sampled = sum(o.sampled_sets for o in outcomes)
+        independent = sum(r.theta for r in expected.values()) * 3
+        assert total_sampled < independent / 3
+    finally:
+        service.close()
+
+
+def test_hammer_bit_identical_under_worker_crashes(
+    small_ic_graph, monkeypatch
+):
+    options = IMMOptions(
+        n_jobs=2,
+        resilience=ResilienceOptions(backoff_base=0.0),
+    )
+    expected = _serial_answers(small_ic_graph, options)
+
+    monkeypatch.setenv(ENV_VAR, "crash@1")
+    service = InfluenceService(
+        ServiceOptions(max_inflight=2, max_queue_depth=256,
+                       chunk_sets=CHUNK_SETS)
+    )
+    service.register_graph("g", small_ic_graph)
+    try:
+        queries, outcomes = _hammer(service, options, repeats=1)
+        for query, outcome in zip(queries, outcomes):
+            truth = expected[(query.k, query.epsilon)]
+            assert np.array_equal(outcome.seeds, truth.seeds), (
+                f"k={query.k} eps={query.epsilon} diverged under faults"
+            )
+    finally:
+        service.close()
+
+
+def test_hammer_overload_only_sheds_never_corrupts(small_ic_graph):
+    """Under a tiny queue some submits bounce; the ones admitted must
+    still come back correct, and the service must stay serviceable."""
+    from repro.utils.errors import ServiceOverloadedError
+
+    options = IMMOptions()
+    service = InfluenceService(
+        ServiceOptions(max_inflight=1, max_queue_depth=2,
+                       chunk_sets=CHUNK_SETS)
+    )
+    service.register_graph("g", small_ic_graph)
+    try:
+        accepted, rejected = [], 0
+        lock = threading.Lock()
+
+        def client(idx):
+            nonlocal rejected
+            query = InfluenceQuery("g", k=2 + idx % 4, epsilon=0.3,
+                                   options=options)
+            try:
+                future = service.submit(query)
+            except ServiceOverloadedError:
+                with lock:
+                    rejected += 1
+                return
+            with lock:
+                accepted.append((query, future))
+
+        with ThreadPoolExecutor(max_workers=16) as clients:
+            list(clients.map(client, range(32)))
+        assert accepted, "everything was shed"
+        for query, future in accepted:
+            outcome = future.result(timeout=120)
+            assert len(outcome.seeds) == query.k
+        # after the storm the service still answers fresh queries
+        calm = service.query(
+            InfluenceQuery("g", k=3, epsilon=0.3, options=options)
+        )
+        assert len(calm.seeds) == 3
+    finally:
+        service.close()

@@ -163,3 +163,27 @@ def test_seeds_command_lazy_strategy_matches_fast(capsys):
         [l for l in lazy_out.splitlines() if l.startswith("seeds:")]
         == [l for l in fast_out.splitlines() if l.startswith("seeds:")]
     )
+
+
+def test_serve_parser_defaults():
+    parser = build_parser()
+    args = parser.parse_args(["serve", "--stdin"])
+    assert args.stdin is True
+    assert args.max_inflight == 2 and args.max_queue_depth == 64
+    assert args.port == 7473 and args.chunk_sets == 1024
+
+
+def test_serve_stdin_batch(monkeypatch, capsys):
+    import io
+    import json
+    import sys as _sys
+
+    request = json.dumps({"dataset": "WV", "scale": "tiny",
+                          "k": 3, "epsilon": 0.4, "theta_scale": 0.05})
+    monkeypatch.setattr(_sys, "stdin", io.StringIO(request + "\n" + request + "\n"))
+    assert main(["serve", "--stdin", "--chunk-sets", "256"]) == 0
+    captured = capsys.readouterr()
+    responses = [json.loads(l) for l in captured.out.splitlines()]
+    assert [r["cache"] for r in responses] == ["cold", "exact"]
+    assert responses[0]["seeds"] == responses[1]["seeds"]
+    assert "served 2 requests" in captured.err
