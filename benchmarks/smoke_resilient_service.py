@@ -1,0 +1,286 @@
+"""Serving-resilience smoke benchmark — writes ``BENCH_pr8_resilience.json``.
+
+CI-sized acceptance drill for the resilient serving tier (PR 8) on the
+WV tiny dataset.  Three deterministic chaos sessions, then leak gates:
+
+* **Session A — deadline storm**: a concurrent burst where some queries
+  carry deadlines far too tight to finish while injected ``slow``
+  faults stretch execution.  Gates: every submitted future resolves, at
+  least one deadline expiry is recorded, and every *non-degraded*
+  completed answer is bit-identical to a direct ``run_imm`` against a
+  fresh same-identity store.
+* **Session B — breaker drill**: injected substrate OOMs trip the
+  per-stream circuit breaker; while open, cached answers serve degraded
+  and uncached cells fast-fail; after the reset timeout a probe heals
+  it.  Gates: the breaker opened, served degraded, and closed again.
+* **Session C — worker-thread crash**: an injected serving-tier fault
+  fails exactly one future; the worker thread, and the service, keep
+  serving.
+
+Leak gates close the drill: zero service worker threads and zero
+shared-memory segments survive the three sessions.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/smoke_resilient_service.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.imm.imm import run_imm
+from repro.imm.options import IMMOptions
+from repro.resilience.faults import ENV_VAR, InjectedFaultError
+from repro.rrr.store import RRRStore
+from repro.service import (
+    InfluenceQuery,
+    InfluenceService,
+    ServiceOptions,
+)
+from repro.shm.segments import REGISTRY
+from repro.utils.errors import CircuitOpenError, DeadlineExceededError
+
+DATASET = "WV"
+CHUNK_SETS = 512
+BURST = [(k, eps) for k in (2, 4, 8, 16) for eps in (0.25, 0.3)]
+OPTIONS = IMMOptions(model="IC")
+
+
+def _graph():
+    config = ExperimentConfig.from_env(scale="tiny", datasets=(DATASET,),
+                                       seed=11)
+    return config.graph(DATASET, "IC")
+
+
+def _truth(graph) -> dict:
+    results = {}
+    for k, eps in BURST:
+        store = RRRStore(graph, model=OPTIONS.model, chunk_sets=CHUNK_SETS)
+        results[(k, eps)] = run_imm(graph, k, eps, options=OPTIONS,
+                                    store=store)
+        store.close()
+    return results
+
+
+def _service(graph, plan: str, **options) -> InfluenceService:
+    os.environ[ENV_VAR] = plan
+    try:
+        options.setdefault("chunk_sets", CHUNK_SETS)
+        service = InfluenceService(ServiceOptions(**options))
+    finally:
+        os.environ.pop(ENV_VAR, None)
+    service.register_graph("g", graph)
+    return service
+
+
+def _worker_threads():
+    return [
+        t for t in threading.enumerate()
+        if t.name.startswith("repro-service-worker") and t.is_alive()
+    ]
+
+
+def session_deadline_storm(graph, truth, failures: list) -> dict:
+    """Session A: tight deadlines under injected slow faults."""
+    service = _service(
+        graph, "slow(0.3)@queries#0,3,6",
+        max_inflight=4, max_queue_depth=256,
+    )
+    queries = []
+    for repeat in range(2):
+        for idx, (k, eps) in enumerate(BURST):
+            n = repeat * len(BURST) + idx
+            deadline = 0.002 if n % 5 == 4 else None
+            queries.append(InfluenceQuery("g", k=k, epsilon=eps,
+                                          options=OPTIONS, deadline=deadline))
+    futures = []
+    try:
+        with ThreadPoolExecutor(max_workers=8) as clients:
+            futures = list(clients.map(service.submit, queries))
+        resolved, expired, mismatches = 0, 0, []
+        for query, future in zip(queries, futures):
+            try:
+                outcome = future.result(timeout=300)
+            except DeadlineExceededError:
+                resolved += 1
+                expired += 1
+                continue
+            resolved += 1
+            if outcome.degraded:
+                continue
+            expect = truth[(query.k, query.epsilon)]
+            if not np.array_equal(outcome.seeds, expect.seeds):
+                mismatches.append([query.k, query.epsilon])
+        health = service.health()
+    finally:
+        service.close()
+    counters = health["counters"]
+    if resolved != len(futures):
+        failures.append(f"A: {len(futures) - resolved} futures unresolved")
+    if counters.get("service.deadline_expired", 0) < 1:
+        failures.append("A: no deadline expiry recorded under the storm")
+    if mismatches:
+        failures.append(f"A: non-degraded answers diverged: {mismatches}")
+    return {
+        "submitted": len(futures),
+        "resolved": resolved,
+        "deadline_expired_futures": expired,
+        "mismatches": mismatches,
+        "counters": counters,
+    }
+
+
+def session_breaker_drill(graph, truth, failures: list) -> dict:
+    """Session B: substrate OOMs trip the breaker, a probe heals it."""
+    service = _service(
+        graph, "oom@substrate#1,2,3",
+        max_inflight=2, breaker_failure_threshold=3,
+        breaker_reset_timeout=0.2,
+    )
+    events = {"oom": 0, "degraded": 0, "fast_fail": 0}
+    try:
+        healthy = service.query(
+            InfluenceQuery("g", k=2, epsilon=0.25, options=OPTIONS)
+        )
+        for k in (4, 8, 16):  # occurrences 1-3: injected OOM x3 -> open
+            try:
+                service.query(InfluenceQuery("g", k=k, epsilon=0.25,
+                                             options=OPTIONS))
+            except MemoryError:
+                events["oom"] += 1
+        degraded = service.query(
+            InfluenceQuery("g", k=2, epsilon=0.25, options=OPTIONS)
+        )
+        if degraded.degraded:
+            events["degraded"] += 1
+        relaxed = service.query(
+            InfluenceQuery("g", k=2, epsilon=0.4, options=OPTIONS)
+        )
+        if relaxed.degraded:
+            events["degraded"] += 1
+        try:
+            service.query(InfluenceQuery("g", k=24, epsilon=0.25,
+                                         options=OPTIONS))
+        except CircuitOpenError:
+            events["fast_fail"] += 1
+        time.sleep(0.3)  # reset timeout elapses
+        probe = service.query(
+            InfluenceQuery("g", k=4, epsilon=0.25, options=OPTIONS)
+        )
+        health = service.health()
+        breaker_states = [b["state"] for b in health["breakers"].values()]
+        counters = health["counters"]
+        if events["oom"] != 3:
+            failures.append(f"B: expected 3 injected OOMs, saw {events['oom']}")
+        if counters.get("service.breaker.opened", 0) < 1:
+            failures.append("B: breaker never opened")
+        if events["degraded"] != 2 or counters.get("service.degraded", 0) < 2:
+            failures.append("B: degraded serving did not kick in while open")
+        if events["fast_fail"] != 1:
+            failures.append("B: uncached cell did not fast-fail while open")
+        if breaker_states != ["closed"]:
+            failures.append(f"B: probe did not heal breaker: {breaker_states}")
+        if probe.degraded or not np.array_equal(
+            probe.seeds, truth[(4, 0.25)].seeds
+        ):
+            failures.append("B: post-recovery answer not clean/bit-identical")
+        if not np.array_equal(degraded.seeds, healthy.seeds):
+            failures.append("B: degraded exact hit changed the answer")
+    finally:
+        service.close()
+    return {"events": events, "counters": counters,
+            "breaker_states": breaker_states}
+
+
+def session_worker_crash(graph, truth, failures: list) -> dict:
+    """Session C: a serving-tier fault fails one future only."""
+    service = _service(graph, "crash@worker-thread#0", max_inflight=2)
+    try:
+        crashed = False
+        try:
+            service.query(InfluenceQuery("g", k=4, epsilon=0.25,
+                                         options=OPTIONS))
+        except InjectedFaultError:
+            crashed = True
+        after = service.query(
+            InfluenceQuery("g", k=4, epsilon=0.25, options=OPTIONS)
+        )
+        health = service.health()
+        if not crashed:
+            failures.append("C: injected worker-thread fault never fired")
+        if health["workers_alive"] != 2:
+            failures.append(
+                f"C: worker threads died: {health['workers_alive']}/2"
+            )
+        if not np.array_equal(after.seeds, truth[(4, 0.25)].seeds):
+            failures.append("C: post-crash answer diverged")
+    finally:
+        service.close()
+    return {"crashed": crashed, "workers_alive": health["workers_alive"],
+            "counters": health["counters"]}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent
+                    / "BENCH_pr8_resilience.json"),
+        help="output JSON path "
+             "(default: <repo root>/BENCH_pr8_resilience.json)",
+    )
+    args = parser.parse_args(argv)
+
+    ambient = os.environ.pop(ENV_VAR, None)  # sessions set their own plans
+    graph = _graph()
+    truth = _truth(graph)
+    failures: list[str] = []
+
+    start = time.perf_counter()
+    sessions = {
+        "deadline_storm": session_deadline_storm(graph, truth, failures),
+        "breaker_drill": session_breaker_drill(graph, truth, failures),
+        "worker_crash": session_worker_crash(graph, truth, failures),
+    }
+
+    leaked_threads = len(_worker_threads())
+    leaked_segments = REGISTRY.active_count
+    if leaked_threads:
+        failures.append(f"leak: {leaked_threads} worker threads survived")
+    if leaked_segments:
+        failures.append(f"leak: {leaked_segments} shm segments survived")
+    if ambient is not None:
+        os.environ[ENV_VAR] = ambient
+
+    report = {
+        "benchmark": "pr8_resilience",
+        "dataset": DATASET,
+        "chunk_sets": CHUNK_SETS,
+        "seconds": round(time.perf_counter() - start, 4),
+        "sessions": sessions,
+        "leaked_worker_threads": leaked_threads,
+        "leaked_shm_segments": leaked_segments,
+        "ok": not failures,
+        "failures": failures,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n",
+                              encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    print(f"[written to {args.out}]")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

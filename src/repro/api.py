@@ -41,11 +41,13 @@ from repro.graphs.weights import assign_ic_weights, assign_lt_weights
 from repro.imm.bounds import BoundsConfig
 from repro.imm.imm import IMMResult, run_imm
 from repro.imm.options import IMMOptions
-from repro.resilience import ResilienceOptions, ResilienceReport
+from repro.resilience import Deadline, ResilienceOptions, ResilienceReport
 from repro.service.options import ServiceOptions
 from repro.service.query import InfluenceQuery, QueryOutcome
 from repro.service.service import InfluenceService
 from repro.utils.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
     ReproError,
     ServiceClosedError,
     ServiceError,
@@ -69,6 +71,9 @@ __all__ = [
     "ServiceError",
     "ServiceOverloadedError",
     "ServiceClosedError",
+    "DeadlineExceededError",
+    "CircuitOpenError",
+    "Deadline",
     # engines
     "Engine",
     "EngineResult",

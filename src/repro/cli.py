@@ -166,6 +166,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                        help="persist substrate chunks under DIR so a "
                             "restarted service warm-starts from disk")
+    serve.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="default per-query wall-clock budget; expired "
+                            "queries fail with DeadlineExceededError instead "
+                            "of occupying a worker (unset = unbounded)")
+    serve.add_argument("--read-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-connection idle read timeout; a silent "
+                            "client gets its connection closed (unset = "
+                            "wait forever)")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="on SIGTERM, wait this long for admitted "
+                            "queries to finish before closing")
+    serve.add_argument("--health", action="store_true",
+                       help="client mode: ask the server at --host:--port "
+                            "for its health snapshot, print it, exit")
     return parser
 
 
@@ -289,8 +306,14 @@ def _cmd_experiment(args) -> int:
 
 def _cmd_serve(args) -> int:
     from repro.service import InfluenceService, ServiceOptions
-    from repro.service.server import serve_stdin, serve_tcp
+    from repro.service.server import request_once, serve_stdin, serve_tcp
 
+    if args.health:
+        import json
+
+        response = request_once(args.host, args.port, {"health": True})
+        print(json.dumps(response.get("health", response), indent=2))
+        return 0 if response.get("ok") else 1
     options = ServiceOptions(
         max_inflight=args.max_inflight,
         max_queue_depth=args.max_queue_depth,
@@ -298,6 +321,7 @@ def _cmd_serve(args) -> int:
         max_substrates=args.max_substrates,
         chunk_sets=args.chunk_sets,
         checkpoint_dir=args.checkpoint_dir,
+        default_deadline=args.deadline,
     )
     with InfluenceService(options) as service:
         if args.stdin:
@@ -305,8 +329,11 @@ def _cmd_serve(args) -> int:
             print(f"served {served} requests", file=sys.stderr)
         else:
             print(f"serving on {args.host}:{args.port} "
-                  f"(JSON-lines; Ctrl-C to stop)", file=sys.stderr)
-            serve_tcp(service, args.host, args.port)
+                  f"(JSON-lines; Ctrl-C to stop, SIGTERM to drain)",
+                  file=sys.stderr)
+            serve_tcp(service, args.host, args.port,
+                      read_timeout=args.read_timeout,
+                      drain_timeout=args.drain_timeout)
     return 0
 
 

@@ -23,6 +23,7 @@ from repro.imm.coverage import CoverageIndex
 from repro.imm.options import IMMOptions
 from repro.imm.seed_selection import SelectionResult, select_seeds
 from repro.obs.export import ProfileReport
+from repro.resilience.deadline import active_deadline
 from repro.rrr import get_sampler
 from repro.rrr.collection import RRRCollection
 from repro.rrr.trace import SampleTrace, empty_trace
@@ -272,7 +273,13 @@ def _run_imm_core(
         return cov_index
 
     last_selection: SelectionResult | None = None
+    deadline = active_deadline()
     for i in range(1, max_phase + 1):
+        # cooperative deadline checkpoint: an expired or cancelled query
+        # aborts between estimation phases (the sampling layers below
+        # check at finer round/chunk granularity)
+        if deadline is not None:
+            deadline.check(f"IMM estimation phase {i}")
         with obs.span(f"imm.estimation.phase_{i}"):
             x = n / (2.0**i)
             theta_i = bounds.cap(lam_prime / x)
@@ -315,6 +322,8 @@ def _run_imm_core(
 
     theta = bounds.cap(lambda_star(graph.n, k, epsilon, ell) / lower_bound)
     if theta > num_sets:
+        if deadline is not None:
+            deadline.check("IMM final sampling")
         with obs.span("imm.final_sampling"):
             if store is not None:
                 collection, trace = store.ensure(theta)

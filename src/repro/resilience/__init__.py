@@ -24,15 +24,20 @@ retried (or serially degraded) job reproduces its exact sets — recovery
 never changes results, only wall-clock.
 """
 
-from repro.resilience.faults import FaultClause, FaultPlan
+from repro.resilience.deadline import Deadline, active_deadline, deadline_scope
+from repro.resilience.faults import FaultClause, FaultPlan, ServiceFaultInjector
 from repro.resilience.options import DEFAULT_RESILIENCE, ResilienceOptions
 from repro.resilience.report import ResilienceReport, merge_reports
 
 __all__ = [
     "DEFAULT_RESILIENCE",
+    "Deadline",
     "FaultClause",
     "FaultPlan",
     "ResilienceOptions",
     "ResilienceReport",
+    "ServiceFaultInjector",
+    "active_deadline",
+    "deadline_scope",
     "merge_reports",
 ]

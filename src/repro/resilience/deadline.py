@@ -1,0 +1,121 @@
+"""Cooperative deadlines and cancellation for the sampling/query path.
+
+A :class:`Deadline` is a small thread-safe token combining a
+monotonic-clock expiry with explicit cancellation.  It is *cooperative*:
+nothing is interrupted pre-emptively — instead the long-running layers
+check the token at their natural round boundaries and raise
+:class:`~repro.utils.errors.DeadlineExceededError` when it has expired:
+
+* :class:`~repro.service.scheduler.QueryScheduler` drops queued jobs
+  whose deadline passed before a worker picked them up;
+* :class:`~repro.rrr.parallel.SamplerPool`'s supervision loop checks
+  between fan-out rounds and retries (and bounds its waits by the
+  remaining budget, terminating hung workers on expiry);
+* :class:`~repro.rrr.store.RRRStore.ensure` checks between chunk
+  top-ups;
+* :func:`~repro.imm.imm.run_imm` checks between estimation phases.
+
+Propagation is ambient rather than threaded through every signature: a
+caller (the service's worker thread) enters :func:`deadline_scope` and
+every layer below reads :func:`active_deadline`.  The scope rides a
+``contextvars.ContextVar``, so concurrent worker threads each see only
+their own query's deadline.
+
+``cancel()`` makes the token expired immediately, which is how
+``InfluenceService.query(timeout=...)`` reclaims a still-running worker
+slot after the caller gave up waiting.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import time
+from typing import Iterator, Optional
+
+from repro.utils.errors import DeadlineExceededError, ValidationError
+
+_ACTIVE: "contextvars.ContextVar[Optional[Deadline]]" = contextvars.ContextVar(
+    "repro_active_deadline", default=None
+)
+
+
+class Deadline:
+    """An absolute monotonic-clock expiry plus a cancellation flag."""
+
+    __slots__ = ("_expires_at", "_cancelled")
+
+    def __init__(self, expires_at: Optional[float] = None):
+        #: monotonic timestamp after which the token is expired; None
+        #: means no time limit (the token can still be cancelled)
+        self._expires_at = expires_at
+        self._cancelled = False
+
+    @classmethod
+    def after(cls, seconds: Optional[float]) -> "Deadline":
+        """A deadline ``seconds`` from now (``None`` -> no time limit)."""
+        if seconds is None:
+            return cls(None)
+        seconds = float(seconds)
+        if seconds <= 0:
+            raise ValidationError(f"deadline must be positive, got {seconds}")
+        return cls(time.monotonic() + seconds)
+
+    @classmethod
+    def never(cls) -> "Deadline":
+        """A token with no time limit (cancellation still works)."""
+        return cls(None)
+
+    def cancel(self) -> None:
+        """Expire the token immediately (idempotent, thread-safe)."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def expired(self) -> bool:
+        if self._cancelled:
+            return True
+        return self._expires_at is not None and time.monotonic() >= self._expires_at
+
+    def remaining(self) -> Optional[float]:
+        """Seconds of budget left; ``None`` when unbounded, 0.0 when spent."""
+        if self._cancelled:
+            return 0.0
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - time.monotonic())
+
+    def check(self, what: str = "") -> None:
+        """Raise :class:`DeadlineExceededError` if the token expired."""
+        if self.expired:
+            raise DeadlineExceededError(what, cancelled=self._cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        if self._cancelled:
+            return "Deadline(cancelled)"
+        if self._expires_at is None:
+            return "Deadline(never)"
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+def active_deadline() -> Optional[Deadline]:
+    """The deadline governing the current context, if any."""
+    return _ACTIVE.get()
+
+
+@contextlib.contextmanager
+def deadline_scope(deadline: Optional[Deadline]) -> Iterator[Optional[Deadline]]:
+    """Make ``deadline`` ambient for the dynamic extent of the block.
+
+    ``None`` clears any inherited deadline, so a scope can also shield
+    nested work from an outer budget.  Scopes nest; the previous token
+    is restored on exit.
+    """
+    token = _ACTIVE.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _ACTIVE.reset(token)

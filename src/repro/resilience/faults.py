@@ -9,10 +9,19 @@ faulted run is as reproducible as a clean one.
 Grammar (env var ``REPRO_FAULTS``)::
 
     plan     := clause (";" clause)*
-    clause   := kind ["(" seconds ")"] "@" jobs ["#" attempts]
-    kind     := "crash" | "hang" | "memerr" | "error"
+    clause   := kind ["(" seconds ")"] "@" target ["#" selector]
+    target   := jobs | "queries" | "substrate" | "worker-thread"
+    kind     := "crash" | "hang" | "memerr" | "error"     (job targets)
+              | "slow" | "oom" | "crash" | "error"        (service targets)
     jobs     := "*" | int ("," int)*
-    attempts := "*" | int ("," int)*          (omitted: attempt 0 only)
+    selector := "*" | int ("," int)*
+
+For *job* targets the selector names attempts (omitted: attempt 0
+only); the clause fires inside sampler worker processes.  For *service*
+targets the selector names occurrences of that scope — the Nth time the
+serving tier passes the scope's hook — and omitting it matches every
+occurrence; the clause fires inside the service's worker threads (see
+:class:`ServiceFaultInjector`).
 
 Examples::
 
@@ -23,17 +32,27 @@ Examples::
     memerr@*#*          every job raises MemoryError on every attempt
                         (exhausts the retry budget -> serial fallback)
     crash@0;memerr@2#1  plans compose; first matching clause fires
+    slow(0.3)@queries   every query execution sleeps 0.3 s (deadline-
+                        aware: an expired query aborts mid-sleep)
+    oom@substrate#0,1   the first two substrate executions raise
+                        MemoryError (drives the circuit breaker open)
+    crash@worker-thread#2
+                        the third query execution raises from inside
+                        the scheduler worker (a simulated serving bug)
 
 The plan string is resolved by the *supervisor* (env or explicit
 argument) and shipped to workers inside each job tuple, so it works
 under any multiprocessing start method and cannot leak into the
 in-process serial paths — degraded jobs always run clean, which is what
-makes serial fallback a guaranteed exit.
+makes serial fallback a guaranteed exit.  Service-scoped clauses never
+ship to sampler workers, and job-scoped clauses never fire in the
+serving tier — the two chaos surfaces compose without interfering.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import dataclass
 from functools import lru_cache
@@ -44,7 +63,11 @@ from repro.utils.errors import ValidationError
 ENV_VAR = "REPRO_FAULTS"
 
 _KINDS = ("crash", "hang", "memerr", "error")
+#: service-side targets (fire in the serving tier, never in workers)
+SERVICE_SCOPES = ("queries", "substrate", "worker-thread")
+_SERVICE_KINDS = ("slow", "oom", "crash", "error")
 _DEFAULT_HANG_SECONDS = 30.0
+_DEFAULT_SLOW_SECONDS = 0.25
 
 
 class InjectedFaultError(RuntimeError):
@@ -67,12 +90,19 @@ def _parse_int_set(text: str, what: str) -> "frozenset[int] | None":
 
 @dataclass(frozen=True)
 class FaultClause:
-    """One ``kind@jobs#attempts`` injection rule."""
+    """One ``kind@target#selector`` injection rule.
+
+    ``scope`` is ``"job"`` for the classic worker-process clauses (the
+    selector sets are job indices and attempts) or one of
+    :data:`SERVICE_SCOPES` for serving-tier clauses (``jobs`` then holds
+    the occurrence set and ``attempts`` is unused).
+    """
 
     kind: str
     seconds: float
-    jobs: "frozenset[int] | None"  # None matches every job
+    jobs: "frozenset[int] | None"  # None matches every job / occurrence
     attempts: "frozenset[int] | None"  # None matches every attempt
+    scope: str = "job"
 
     def matches(self, job: int, attempt: int) -> bool:
         return (self.jobs is None or job in self.jobs) and (
@@ -99,33 +129,63 @@ class FaultPlan:
                 )
             head, _, targets = raw.partition("@")
             head = head.strip()
-            seconds = _DEFAULT_HANG_SECONDS
+            explicit_seconds = None
             if "(" in head:
                 if not head.endswith(")"):
                     raise ValidationError(f"unbalanced '(' in fault clause {raw!r}")
                 head, _, arg = head[:-1].partition("(")
                 try:
-                    seconds = float(arg)
+                    explicit_seconds = float(arg)
                 except ValueError as exc:
                     raise ValidationError(
                         f"bad duration {arg!r} in fault clause {raw!r}"
                     ) from exc
-                if seconds < 0:
+                if explicit_seconds < 0:
                     raise ValidationError("fault duration must be >= 0")
             kind = head.strip().lower()
+            target_text, _, selector_text = targets.partition("#")
+            scope = target_text.strip().lower()
+            if scope in SERVICE_SCOPES:
+                if kind not in _SERVICE_KINDS:
+                    raise ValidationError(
+                        f"unknown service fault kind {kind!r} in {raw!r}; "
+                        f"choose one of {_SERVICE_KINDS}"
+                    )
+                clauses.append(
+                    FaultClause(
+                        kind=kind,
+                        seconds=(
+                            _DEFAULT_SLOW_SECONDS
+                            if explicit_seconds is None
+                            else explicit_seconds
+                        ),
+                        jobs=(
+                            _parse_int_set(selector_text, "occurrence")
+                            if selector_text
+                            else None  # omitted -> every occurrence
+                        ),
+                        attempts=None,
+                        scope=scope,
+                    )
+                )
+                continue
             if kind not in _KINDS:
                 raise ValidationError(
-                    f"unknown fault kind {kind!r}; choose one of {_KINDS}"
+                    f"unknown fault kind {kind!r}; choose one of {_KINDS} "
+                    f"(or a service scope target: {SERVICE_SCOPES})"
                 )
-            jobs_text, _, attempts_text = targets.partition("#")
             clauses.append(
                 FaultClause(
                     kind=kind,
-                    seconds=seconds,
-                    jobs=_parse_int_set(jobs_text, "job"),
+                    seconds=(
+                        _DEFAULT_HANG_SECONDS
+                        if explicit_seconds is None
+                        else explicit_seconds
+                    ),
+                    jobs=_parse_int_set(target_text, "job"),
                     attempts=(
-                        _parse_int_set(attempts_text, "attempt")
-                        if attempts_text
+                        _parse_int_set(selector_text, "attempt")
+                        if selector_text
                         else frozenset((0,))
                     ),
                 )
@@ -144,7 +204,7 @@ class FaultPlan:
         raise.
         """
         for clause in self.clauses:
-            if not clause.matches(job, attempt):
+            if clause.scope != "job" or not clause.matches(job, attempt):
                 continue
             if clause.kind == "crash":
                 os._exit(3)
@@ -182,3 +242,81 @@ def fire(spec: "str | None", job: int, attempt: int) -> None:
     """Worker-side entry point: apply ``spec`` to ``(job, attempt)``."""
     if spec:
         _cached_parse(spec).fire(job, attempt)
+
+
+class ServiceFaultInjector:
+    """Serving-tier chaos: fires a plan's service-scoped clauses.
+
+    One injector belongs to one :class:`InfluenceService` and counts
+    occurrences per scope from zero, so a schedule like
+    ``oom@substrate#0,1`` is a pure function of execution order — a
+    single-client drill is exactly reproducible, and a concurrent
+    hammer still fires a deterministic *number* of faults.
+
+    Scopes and effects:
+
+    * ``queries`` — fires at the start of query execution; ``slow``
+      sleeps in deadline-aware slices (an expired query aborts the
+      sleep with :class:`~repro.utils.errors.DeadlineExceededError`);
+    * ``substrate`` — fires inside the substrate lock, just before
+      sampling; ``oom`` raises :class:`MemoryError` there, which is
+      what drives the circuit breaker open;
+    * ``worker-thread`` — fires in the scheduler worker's execute path;
+      ``crash`` / ``error`` raise :class:`InjectedFaultError`, the
+      simulated serving-tier bug that must fail one future only.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self._clauses = tuple(c for c in plan.clauses if c.scope != "job")
+        self._counts: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def active(self) -> bool:
+        return bool(self._clauses)
+
+    def fire(self, scope: str) -> None:
+        """Apply the plan to the next occurrence of ``scope``."""
+        if not self._clauses:
+            return
+        with self._lock:
+            occurrence = self._counts.get(scope, 0)
+            self._counts[scope] = occurrence + 1
+        for clause in self._clauses:
+            if clause.scope != scope:
+                continue
+            if clause.jobs is not None and occurrence not in clause.jobs:
+                continue
+            if clause.kind == "slow":
+                self._sleep(clause.seconds)
+                return
+            if clause.kind == "oom":
+                raise MemoryError(
+                    f"injected service OOM ({scope} occurrence {occurrence})"
+                )
+            raise InjectedFaultError(
+                f"injected service fault ({scope} occurrence {occurrence})"
+            )
+
+    @staticmethod
+    def _sleep(seconds: float) -> None:
+        """Sleep ``seconds`` in slices, honouring the ambient deadline."""
+        from repro.resilience.deadline import active_deadline
+
+        deadline = active_deadline()
+        end = time.monotonic() + seconds
+        while True:
+            left = end - time.monotonic()
+            if left <= 0:
+                return
+            if deadline is not None:
+                deadline.check("injected slow fault")
+            time.sleep(min(0.02, left))
+
+
+def service_injector(spec: "str | None") -> "ServiceFaultInjector | None":
+    """An injector for ``spec``'s service-scoped clauses, if it has any."""
+    if not spec:
+        return None
+    injector = ServiceFaultInjector(_cached_parse(spec))
+    return injector if injector.active else None

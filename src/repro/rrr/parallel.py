@@ -62,6 +62,7 @@ import numpy as np
 
 from repro import obs
 from repro.graphs.csc import DirectedGraph
+from repro.resilience.deadline import active_deadline
 from repro.resilience.faults import active_spec as active_fault_spec
 from repro.resilience.faults import fire as fire_fault
 from repro.resilience.options import DEFAULT_RESILIENCE, ResilienceOptions
@@ -465,16 +466,23 @@ class SamplerPool:
         last_loss = [""] * n  # "timeout" | "crash" | "failure"
         pending = list(range(n))
         fault_spec = active_fault_spec()
+        deadline = active_deadline()
         retry_round = 0
         futures: dict[int, object] = {}
         try:
             while pending:
+                # cooperative deadline: an expired query must free its
+                # worker slot at the next round boundary, not sample on
+                if deadline is not None:
+                    deadline.check("parallel sampling round")
                 exhausted = [i for i in pending if attempt[i] > res.max_retries]
                 if exhausted:
                     pending = [i for i in pending if attempt[i] <= res.max_retries]
                     if not res.serial_fallback:
                         self._raise_unrecoverable(exhausted, attempt, last_loss)
                     for i in exhausted:
+                        if deadline is not None:
+                            deadline.check("serial degraded sampling")
                         with obs.span("rrr.parallel.degraded_job"):
                             results[i] = self._run_serial(jobs[i])
                         report.degraded_jobs += 1
@@ -485,6 +493,10 @@ class SamplerPool:
                         break
                 if retry_round:
                     backoff = res.backoff(retry_round - 1)
+                    if deadline is not None:
+                        remaining = deadline.remaining()
+                        if remaining is not None:
+                            backoff = min(backoff, remaining)
                     if backoff:
                         time.sleep(backoff)
                         report.wall_clock_lost += backoff
@@ -513,8 +525,32 @@ class SamplerPool:
                 # ALL_COMPLETED (not FIRST_EXCEPTION): a failed job must
                 # not cut the round short — the healthy jobs finish and
                 # keep their results, and a worker death breaks every
-                # pending future promptly anyway
-                wait(futures.values(), timeout=res.job_timeout)
+                # pending future promptly anyway.  The wait is bounded by
+                # whichever is tighter, the supervision timeout or the
+                # deadline's remaining budget, so an expired query never
+                # blocks on a hung worker.
+                round_timeout = res.job_timeout
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    if remaining is not None:
+                        round_timeout = (
+                            remaining
+                            if round_timeout is None
+                            else min(round_timeout, remaining)
+                        )
+                wait(futures.values(), timeout=round_timeout)
+                if deadline is not None and deadline.expired:
+                    undone = [f for f in futures.values() if not f.done()]
+                    if undone:
+                        # reclaim the slot now: cancel what never started
+                        # and terminate workers stuck mid-job (siblings
+                        # sharing this pool see BrokenProcessPool and
+                        # retry deterministically)
+                        for future in futures.values():
+                            future.cancel()
+                        self._abandon_executor(terminate=True)
+                        report.rebuilds += 1
+                        deadline.check("parallel sampling round")
                 broken = False
                 hung = False
                 still_pending = []

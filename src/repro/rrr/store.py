@@ -49,6 +49,7 @@ import numpy as np
 
 from repro import obs
 from repro.graphs.csc import DirectedGraph
+from repro.resilience.deadline import active_deadline
 from repro.resilience.options import ResilienceOptions
 from repro.rrr.collection import RRRCollection
 from repro.rrr.parallel import SamplerPool
@@ -269,7 +270,12 @@ class RRRStore:
         cached = self.num_cached
         obs.counter_add("rrr.store.reused_sets", min(theta, cached))
         sampled_new = 0
+        deadline = active_deadline()
         while self.num_cached < theta:
+            # cached prefixes always serve; only *new* sampling is
+            # subject to the ambient deadline, one chunk at a time
+            if deadline is not None:
+                deadline.check("store chunk top-up")
             j = len(self._chunks)
             with obs.span("rrr.store.topup"):
                 chunk = self._sample_chunk(j)

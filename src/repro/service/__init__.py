@@ -1,14 +1,19 @@
 """repro.service — the asynchronous influence-query serving tier.
 
 See :mod:`repro.service.service` for the architecture overview
-(admission control, coalescing, multi-tier caching) and
-``docs/architecture.md`` ("Serving") for the operator's view.
+(admission control, coalescing, multi-tier caching, deadlines, circuit
+breakers, degraded serving) and ``docs/architecture.md`` ("Serving" and
+"Serving resilience") for the operator's view.
 """
 
+from repro.resilience.deadline import Deadline
+from repro.service.breaker import CircuitBreaker
 from repro.service.options import ServiceOptions
 from repro.service.query import CACHE_TIERS, InfluenceQuery, QueryOutcome
 from repro.service.service import InfluenceService
 from repro.utils.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
     ServiceClosedError,
     ServiceError,
     ServiceOverloadedError,
@@ -16,6 +21,10 @@ from repro.utils.errors import (
 
 __all__ = [
     "CACHE_TIERS",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Deadline",
+    "DeadlineExceededError",
     "InfluenceQuery",
     "InfluenceService",
     "QueryOutcome",

@@ -1,0 +1,176 @@
+"""Per-stream circuit breakers for the serving tier.
+
+A substrate that keeps failing — sampler workers crashing past their
+retry budget, simulated or real OOM — should stop costing a worker slot
+per query.  The service keys one breaker per *stream identity* (the
+coalescing key: one breaker per substrate, not per ``(k, ε)`` cell) and
+runs the classic three-state machine:
+
+* **closed** — normal serving; consecutive substrate failures are
+  counted, any success resets the count;
+* **open** — after ``failure_threshold`` consecutive failures (or a
+  failed probe) new queries skip the queue entirely: the service
+  serves a degraded cached answer when it has one, else fails fast
+  with :class:`~repro.utils.errors.CircuitOpenError` — bounded-time
+  either way, never a stranded worker slot;
+* **half-open** — once ``reset_timeout`` has passed, exactly one
+  *probe* query is admitted through to the substrate; its success
+  closes the breaker, its failure re-opens it (and restarts the
+  timer).
+
+Only substrate health trips a breaker: the service classifies
+:class:`~repro.utils.errors.ResilienceError` and :class:`MemoryError`
+as failures, while deadline expiries and validation errors say nothing
+about the substrate and leave the breaker alone.  Probes that are
+answered from the exact cache also do not close the breaker — only a
+query that actually exercised the substrate counts as evidence.
+
+The clock is injectable so the state machine unit-tests run on a fake
+clock; transitions are published as ``service.breaker.*`` counters and
+the full per-stream state rides on ``InfluenceService.health()``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.utils.errors import ValidationError
+
+#: breaker states
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
+def key_digest(key: tuple) -> str:
+    """A short stable digest naming a stream key in health snapshots."""
+    return hashlib.sha1(repr(key).encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class _BreakerState:
+    """The mutable per-stream record behind one coalescing key."""
+
+    state: str = CLOSED
+    consecutive_failures: int = 0
+    opened_at: float = 0.0
+    probe_inflight: bool = False
+    failures_total: int = 0
+    opened_total: int = 0
+
+
+class CircuitBreaker:
+    """Thread-safe registry of per-stream breaker state machines."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        counter: Optional[Callable[[str], None]] = None,
+    ):
+        if failure_threshold < 1:
+            raise ValidationError("failure_threshold must be >= 1")
+        if not reset_timeout > 0:
+            raise ValidationError("reset_timeout must be positive")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self._clock = clock
+        self._count = counter or (lambda name: None)
+        self._states: dict[tuple, _BreakerState] = {}
+        self._lock = threading.Lock()
+
+    def admit(self, key: tuple) -> str:
+        """Admission decision for one arriving query on ``key``.
+
+        Returns ``"closed"`` (serve normally), ``"probe"`` (serve — and
+        this query's outcome decides the breaker), or ``"open"``
+        (degrade or fast-fail; do not queue).
+        """
+        with self._lock:
+            state = self._states.get(key)
+            if state is None or state.state == CLOSED:
+                return CLOSED
+            if state.state == OPEN:
+                if self._clock() - state.opened_at >= self.reset_timeout:
+                    state.state = HALF_OPEN
+                    state.probe_inflight = True
+                    self._count("service.breaker.half_open")
+                    return "probe"
+                return OPEN
+            # half-open: one probe at a time; everyone else degrades
+            if not state.probe_inflight:
+                state.probe_inflight = True
+                return "probe"
+            return OPEN
+
+    def retry_after(self, key: tuple) -> float:
+        """Seconds until an open ``key`` will admit its next probe."""
+        with self._lock:
+            state = self._states.get(key)
+            if state is None or state.state != OPEN:
+                return 0.0
+            return max(
+                0.0, state.opened_at + self.reset_timeout - self._clock()
+            )
+
+    def record_success(self, key: tuple) -> None:
+        """A query on ``key`` exercised the substrate and succeeded."""
+        with self._lock:
+            state = self._states.get(key)
+            if state is None:
+                return
+            reopened = state.state != CLOSED
+            state.state = CLOSED
+            state.consecutive_failures = 0
+            state.probe_inflight = False
+        if reopened:
+            self._count("service.breaker.closed")
+
+    def record_failure(self, key: tuple) -> None:
+        """A query on ``key`` hit a substrate failure (crash/OOM)."""
+        with self._lock:
+            state = self._states.setdefault(key, _BreakerState())
+            state.consecutive_failures += 1
+            state.failures_total += 1
+            trip = (
+                state.state == HALF_OPEN
+                or state.consecutive_failures >= self.failure_threshold
+            )
+            opened = trip and state.state != OPEN
+            if trip:
+                state.state = OPEN
+                state.opened_at = self._clock()
+                state.probe_inflight = False
+                if opened:
+                    state.opened_total += 1
+        if opened:
+            self._count("service.breaker.opened")
+
+    def release_probe(self, key: tuple) -> None:
+        """A probe left the system without substrate evidence (deadline
+        expiry, exact-cache hit): let the next arrival probe instead."""
+        with self._lock:
+            state = self._states.get(key)
+            if state is not None and state.state == HALF_OPEN:
+                state.probe_inflight = False
+
+    def state(self, key: tuple) -> str:
+        with self._lock:
+            state = self._states.get(key)
+            return CLOSED if state is None else state.state
+
+    def snapshot(self) -> dict:
+        """Per-stream breaker state for health/readiness reporting."""
+        with self._lock:
+            return {
+                key_digest(key): {
+                    "state": state.state,
+                    "consecutive_failures": state.consecutive_failures,
+                    "failures_total": state.failures_total,
+                    "opened_total": state.opened_total,
+                }
+                for key, state in self._states.items()
+            }

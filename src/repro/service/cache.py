@@ -63,6 +63,32 @@ class ExactResultCache:
                 self._entries.popitem(last=False)
                 obs.counter_add("service.evictions", 1)
 
+    def find_relaxed(
+        self, key: tuple, slack: float
+    ) -> "Optional[tuple[float, IMMResult]]":
+        """Best epsilon-relaxed stand-in for ``key`` (degraded serving).
+
+        Scans for entries that differ from ``key`` only in epsilon
+        (result-key index ``-3``) and whose epsilon is at most
+        ``slack * key_epsilon``; returns ``(cached_epsilon, result)``
+        for the tightest such entry, preferring any ``epsilon' <=
+        epsilon`` (a strictly better answer) over looser ones.  Does
+        not touch LRU order — degraded reads shouldn't pin entries the
+        healthy path isn't using.
+        """
+        epsilon = float(key[-3])
+        best: "Optional[tuple[float, IMMResult]]" = None
+        with self._lock:
+            for entry_key, result in self._entries.items():
+                if entry_key[:-3] != key[:-3] or entry_key[-2:] != key[-2:]:
+                    continue
+                cached_eps = float(entry_key[-3])
+                if cached_eps > slack * epsilon:
+                    continue
+                if best is None or cached_eps < best[0]:
+                    best = (cached_eps, result)
+        return best
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -137,6 +163,22 @@ class SubstrateTable:
     def release(self, substrate: Substrate) -> None:
         with self._lock:
             substrate.inflight -= 1
+
+    def residency(self) -> list[dict]:
+        """Per-substrate occupancy for health reporting (no key material
+        beyond a digest — stream keys embed graph fingerprints)."""
+        from repro.service.breaker import key_digest
+
+        with self._lock:
+            return [
+                {
+                    "key": key_digest(key),
+                    "cached_sets": substrate.store.num_cached,
+                    "inflight": substrate.inflight,
+                    "queries": substrate.queries,
+                }
+                for key, substrate in self._entries.items()
+            ]
 
     def close(self) -> None:
         """Close every substrate store (service shutdown)."""

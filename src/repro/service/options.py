@@ -48,6 +48,30 @@ class ServiceOptions:
         Base directory for substrate chunk checkpoints (``None``
         disables persistence); a restarted service re-warms its
         substrates from disk.
+    default_deadline:
+        Wall-clock budget in seconds applied to queries that carry no
+        deadline of their own (``None`` → unbounded).  Expiry fails the
+        query with :class:`~repro.utils.errors.DeadlineExceededError`
+        whether it is still queued or already sampling.
+    breaker_failure_threshold:
+        Consecutive substrate failures (worker crashes past the retry
+        budget, OOM) on one stream identity before its circuit breaker
+        opens.
+    breaker_reset_timeout:
+        Seconds an open breaker waits before letting one probe query
+        through (half-open).
+    degraded_serving:
+        When ``True``, queries arriving at an open breaker are answered
+        from cache where possible — exact hits, or a cached result for
+        the same ``(stream, k)`` whose epsilon is within
+        ``degraded_epsilon_slack`` — and the outcome is flagged
+        ``degraded``.  When ``False`` (or on cache miss) they fail fast
+        with :class:`~repro.utils.errors.CircuitOpenError`.
+    degraded_epsilon_slack:
+        Multiplicative slack for the relaxed cache lookup: a cached
+        answer computed at ``epsilon' <= slack * epsilon`` may stand in
+        for ``epsilon`` while degraded.  ``1.0`` restricts degraded
+        serving to exact-tier hits.
     """
 
     max_inflight: int = 2
@@ -56,6 +80,11 @@ class ServiceOptions:
     max_substrates: int = 8
     chunk_sets: int = 1024
     checkpoint_dir: str | None = None
+    default_deadline: float | None = None
+    breaker_failure_threshold: int = 3
+    breaker_reset_timeout: float = 30.0
+    degraded_serving: bool = True
+    degraded_epsilon_slack: float = 2.0
 
     def __post_init__(self):
         if self.max_inflight < 1:
@@ -68,6 +97,14 @@ class ServiceOptions:
             raise ValidationError("max_substrates must be >= 1")
         if self.chunk_sets < 1:
             raise ValidationError("chunk_sets must be >= 1")
+        if self.default_deadline is not None and not self.default_deadline > 0:
+            raise ValidationError("default_deadline must be positive or None")
+        if self.breaker_failure_threshold < 1:
+            raise ValidationError("breaker_failure_threshold must be >= 1")
+        if not self.breaker_reset_timeout > 0:
+            raise ValidationError("breaker_reset_timeout must be positive")
+        if not self.degraded_epsilon_slack >= 1.0:
+            raise ValidationError("degraded_epsilon_slack must be >= 1.0")
 
     def replace(self, **changes) -> "ServiceOptions":
         """A copy with ``changes`` applied (frozen-dataclass convenience)."""

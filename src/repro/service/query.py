@@ -59,6 +59,13 @@ class InfluenceQuery:
         Root entropy of the query's RRR stream (an int or tuple of
         ints).  Queries that should share sampling work must share it;
         it plays the role ``rng`` plays in direct ``run_imm`` calls.
+    deadline:
+        Wall-clock budget in seconds for this query, queue wait
+        included (``None`` → the service's ``default_deadline``).  On
+        expiry the query fails with
+        :class:`~repro.utils.errors.DeadlineExceededError` and its
+        worker slot is freed; deadlines never change the answer of a
+        query that completes.
     """
 
     graph: Union[DirectedGraph, str]
@@ -66,6 +73,7 @@ class InfluenceQuery:
     epsilon: float
     options: IMMOptions = field(default_factory=IMMOptions)
     entropy: object = 0
+    deadline: Union[float, None] = None
 
     def __post_init__(self):
         if not isinstance(self.graph, (DirectedGraph, str)):
@@ -80,6 +88,10 @@ class InfluenceQuery:
             )
         if not isinstance(self.options, IMMOptions):
             raise ValidationError("options must be an IMMOptions instance")
+        if self.deadline is not None and not float(self.deadline) > 0:
+            raise ValidationError(
+                f"deadline must be positive or None, got {self.deadline}"
+            )
 
     # -- keys ----------------------------------------------------------------
     def coalesce_key(self, graph: DirectedGraph, chunk_sets: int) -> tuple:
@@ -120,6 +132,12 @@ class QueryOutcome:
     prefix covered the whole run — only selection re-ran), or
     ``"cold"`` (new RRR sets were sampled).  ``sampled_sets`` counts the
     sets this query added to its substrate (0 for both hit tiers).
+
+    ``degraded`` marks answers served from cache while the stream's
+    circuit breaker was open: correct for *some* recent query on the
+    stream, but possibly stale or computed at a relaxed epsilon
+    (``result.epsilon`` tells which).  Non-degraded outcomes keep the
+    bit-identical-to-``run_imm`` contract.
     """
 
     query: InfluenceQuery
@@ -128,6 +146,7 @@ class QueryOutcome:
     sampled_sets: int
     seconds: float
     coalesced: bool = False
+    degraded: bool = False
 
     @property
     def seeds(self):

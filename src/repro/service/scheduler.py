@@ -1,7 +1,7 @@
 """Admission-controlled, coalescing-aware query scheduler.
 
 The scheduler is the service's traffic cop: a bounded FIFO feeding a
-fixed pool of worker threads.  Its three jobs:
+fixed pool of worker threads.  Its jobs:
 
 * **admission control** — at most ``max_queue_depth`` queries wait; a
   submit beyond that fails fast with
@@ -15,25 +15,48 @@ fixed pool of worker threads.  Its three jobs:
   actual sharing is enforced one level down by the substrate's lock —
   the scheduler only needs to not fight it, which FIFO + per-key
   serialization guarantees.
+* **deadline hygiene** — a job whose deadline expired while it was
+  still queued is dropped at dequeue (``service.deadline_expired``)
+  without costing a worker slot; the expiry is delivered on its future
+  as :class:`~repro.utils.errors.DeadlineExceededError`.
 * **fault isolation** — a query that raises (worker crash exhausting
   its retry budget, validation error, simulated OOM) fails *its
   future* (``service.errors``); the worker thread, and the service,
   keep running.
+
+Every admitted future resolves, no matter how the scheduler goes down:
+``close()`` fails still-queued jobs with
+:class:`~repro.utils.errors.ServiceClosedError` rather than stranding
+their waiters, and admission is serialized with closing so a submit
+can never slip a job into a queue no worker will read again.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro import obs
+from repro.resilience.deadline import Deadline
 from repro.service.query import InfluenceQuery
-from repro.utils.errors import ServiceClosedError, ServiceOverloadedError
+from repro.utils.errors import (
+    DeadlineExceededError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
 
 _SENTINEL = object()
+
+
+def _fail_future(future: Future, exc: BaseException) -> None:
+    """Deliver ``exc`` unless the waiter already cancelled the future."""
+    try:
+        future.set_exception(exc)
+    except InvalidStateError:  # cancelled concurrently; waiter is gone
+        pass
 
 
 @dataclass
@@ -44,6 +67,7 @@ class ScheduledJob:
     key: tuple  # coalescing key, resolved at admission time
     future: Future = field(default_factory=Future)
     coalesced: bool = False
+    deadline: Optional[Deadline] = None
 
 
 class QueryScheduler:
@@ -54,13 +78,17 @@ class QueryScheduler:
         max_inflight: int,
         max_queue_depth: int,
         execute: Callable[[ScheduledJob], object],
+        counter: Optional[Callable[[str], None]] = None,
     ):
         self._execute = execute
+        self._count = counter or (lambda name: obs.counter_add(name, 1))
         self._max_queue_depth = int(max_queue_depth)
-        self._queue: "queue.Queue" = queue.Queue(maxsize=self._max_queue_depth)
+        self._queue: "queue.Queue" = queue.Queue()
         self._active_keys: dict[tuple, int] = {}
         self._lock = threading.Lock()
         self._closed = False
+        self._queued = 0  # jobs admitted but not yet picked up
+        self._inflight = 0  # jobs currently executing on a worker
         self._workers = [
             threading.Thread(
                 target=self._worker_loop,
@@ -74,37 +102,52 @@ class QueryScheduler:
 
     # -- admission -----------------------------------------------------------
     def submit(self, job: ScheduledJob) -> Future:
-        """Admit ``job`` (or reject it) and return its future."""
-        if self._closed:
-            raise ServiceClosedError("service is closed")
+        """Admit ``job`` (or reject it) and return its future.
+
+        The whole admission — closed check, depth check, coalescing
+        bookkeeping, enqueue — happens under one lock, so it can never
+        interleave with :meth:`close` in a way that strands the job in
+        a queue no worker will drain.
+        """
         with self._lock:
+            if self._closed:
+                raise ServiceClosedError("service is closed")
+            if self._queued >= self._max_queue_depth:
+                self._count("service.admission_rejects")
+                raise ServiceOverloadedError(
+                    self._queued, self._max_queue_depth
+                )
             active = self._active_keys.get(job.key, 0)
             job.coalesced = active > 0
             self._active_keys[job.key] = active + 1
-        try:
+            self._queued += 1
             self._queue.put_nowait(job)
-        except queue.Full:
-            self._release_key(job.key)
-            obs.counter_add("service.admission_rejects", 1)
-            raise ServiceOverloadedError(
-                self._queue.qsize(), self._max_queue_depth
-            ) from None
+            depth = self._queued
         if job.coalesced:
-            obs.counter_add("service.coalesced", 1)
-        obs.gauge_max("service.queue_depth", self._queue.qsize())
+            self._count("service.coalesced")
+        obs.gauge_max("service.queue_depth", depth)
         return job.future
 
     def _release_key(self, key: tuple) -> None:
         with self._lock:
-            remaining = self._active_keys.get(key, 1) - 1
-            if remaining <= 0:
-                self._active_keys.pop(key, None)
-            else:
-                self._active_keys[key] = remaining
+            self._release_key_locked(key)
+
+    def _release_key_locked(self, key: tuple) -> None:
+        remaining = self._active_keys.get(key, 1) - 1
+        if remaining <= 0:
+            self._active_keys.pop(key, None)
+        else:
+            self._active_keys[key] = remaining
 
     @property
     def queue_depth(self) -> int:
-        return self._queue.qsize()
+        with self._lock:
+            return self._queued
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
 
     # -- execution -----------------------------------------------------------
     def _worker_loop(self) -> None:
@@ -113,40 +156,93 @@ class QueryScheduler:
             if job is _SENTINEL:
                 self._queue.task_done()
                 return
+            with self._lock:
+                self._queued -= 1
             if not job.future.set_running_or_notify_cancel():
                 self._release_key(job.key)
                 self._queue.task_done()
                 continue
+            if job.deadline is not None and job.deadline.expired:
+                # expired while queued: don't waste the worker slot
+                self._count("service.deadline_expired")
+                _fail_future(
+                    job.future,
+                    DeadlineExceededError(
+                        "queued wait", cancelled=job.deadline.cancelled
+                    ),
+                )
+                self._release_key(job.key)
+                self._queue.task_done()
+                continue
+            with self._lock:
+                self._inflight += 1
             try:
                 outcome = self._execute(job)
             except BaseException as exc:  # noqa: BLE001 — isolate the worker
-                obs.counter_add("service.errors", 1)
-                job.future.set_exception(exc)
+                if isinstance(exc, DeadlineExceededError):
+                    self._count("service.deadline_expired")
+                else:
+                    self._count("service.errors")
+                _fail_future(job.future, exc)
             else:
                 job.future.set_result(outcome)
             finally:
-                self._release_key(job.key)
+                with self._lock:
+                    self._inflight -= 1
+                    self._release_key_locked(job.key)
                 self._queue.task_done()
 
     # -- lifecycle -----------------------------------------------------------
     def close(self, wait: bool = True) -> None:
-        """Stop admitting, drain the queue, and stop the workers."""
-        if self._closed:
+        """Stop admitting, fail queued jobs, and stop the workers.
+
+        Jobs already executing finish normally; jobs still queued fail
+        with :class:`ServiceClosedError` so no admitted future is ever
+        stranded.
+        """
+        with self._lock:
+            if self._closed:
+                already = True
+            else:
+                already = False
+                self._closed = True
+        if already:
+            if wait:
+                for worker in self._workers:
+                    worker.join()
             return
-        self._closed = True
+        # Drain still-queued jobs.  Workers may race us for them — both
+        # outcomes are fine: either the worker executes the job (it was
+        # admitted before close) or we fail it here.
+        while True:
+            try:
+                job = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            with self._lock:
+                self._queued -= 1
+            self._count("service.closed_rejects")
+            _fail_future(job.future, ServiceClosedError("service is closed"))
+            self._release_key(job.key)
+            self._queue.task_done()
         for _ in self._workers:
             self._queue.put(_SENTINEL)
         if wait:
             for worker in self._workers:
                 worker.join()
 
-    def drain(self, timeout: Optional[float] = None) -> None:
-        """Block until every admitted job has finished executing."""
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every admitted job has finished executing.
+
+        Returns ``True`` if the queue fully drained, ``False`` if
+        ``timeout`` expired first (work may still be running).
+        """
         if timeout is None:
             self._queue.join()
-            return
+            return True
         done = threading.Event()
-        waiter = threading.Thread(target=lambda: (self._queue.join(), done.set()),
-                                  daemon=True)
+        waiter = threading.Thread(
+            target=lambda: (self._queue.join(), done.set()), daemon=True
+        )
         waiter.start()
-        done.wait(timeout)
+        return done.wait(timeout)

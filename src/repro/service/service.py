@@ -28,28 +28,70 @@ direct ``run_imm`` against a fresh store with the same identity —
 coalescing, caching, eviction, retries, and thread scheduling are all
 invisible in the results.
 
-Resilience: query execution runs under the library's supervised
-sampling pipeline (each query's ``IMMOptions.resilience``), so a
-crashed or hung worker *pool* degrades that query (retries, then serial
-fallback), and a query that still fails fails *its future* only — the
-service, its workers, and its caches keep serving.
+Resilience, beyond the supervised sampling pipeline each query already
+runs under (``IMMOptions.resilience``):
+
+* **deadlines** — each query carries a wall-clock budget (its own
+  ``deadline`` or the service's ``default_deadline``), enforced
+  cooperatively from the queue through the sampling rounds via an
+  ambient :class:`~repro.resilience.deadline.Deadline` token; expiry
+  fails *that future* with
+  :class:`~repro.utils.errors.DeadlineExceededError` and frees its
+  worker slot;
+* **circuit breakers** — consecutive substrate failures (crashes past
+  the retry budget, OOM) open a per-stream breaker
+  (:mod:`repro.service.breaker`); while open, queries are answered
+  *degraded* from cache (exact, or epsilon-relaxed within
+  ``degraded_epsilon_slack``) or fail fast with
+  :class:`~repro.utils.errors.CircuitOpenError` — never queued behind
+  a substrate that keeps dying;
+* **graceful lifecycle** — :meth:`close` fails still-queued futures
+  with :class:`~repro.utils.errors.ServiceClosedError` (no admitted
+  future is ever stranded), :meth:`drain` reports whether it finished,
+  and :meth:`health` snapshots queue depth, breaker states, and
+  substrate residency for readiness probes;
+* **chaos hooks** — service-scoped ``REPRO_FAULTS`` clauses
+  (``slow@queries``, ``oom@substrate``, ``crash@worker-thread``) fire
+  deterministically inside the serving tier so every one of these
+  paths is exercised in CI.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
+from collections import Counter
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Optional, Union
 
 from repro import obs
 from repro.graphs.csc import DirectedGraph
 from repro.imm.imm import IMMResult, run_imm
+from repro.resilience.deadline import Deadline, deadline_scope
+from repro.resilience.faults import (
+    ENV_VAR,
+    InjectedFaultError,
+    service_injector,
+)
+from repro.service.breaker import CircuitBreaker
 from repro.service.cache import ExactResultCache, SubstrateTable
 from repro.service.options import ServiceOptions
 from repro.service.query import InfluenceQuery, QueryOutcome
 from repro.service.scheduler import QueryScheduler, ScheduledJob
-from repro.utils.errors import ServiceClosedError, ValidationError
+from repro.utils.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ResilienceError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ValidationError,
+)
+
+#: exceptions that count as *substrate* failures for the circuit breaker
+#: (deadline expiry and validation say nothing about substrate health)
+_BREAKER_FAILURES = (ResilienceError, MemoryError, InjectedFaultError)
 
 
 class InfluenceService:
@@ -73,12 +115,28 @@ class InfluenceService:
         self._graphs_lock = threading.Lock()
         self._results = ExactResultCache(self.options.exact_cache_size)
         self._substrates = SubstrateTable(self.options.max_substrates)
+        self._counters: "Counter[str]" = Counter()
+        self._counters_lock = threading.Lock()
+        self._breaker = CircuitBreaker(
+            self.options.breaker_failure_threshold,
+            self.options.breaker_reset_timeout,
+            counter=self._count,
+        )
+        self._faults = service_injector(os.environ.get(ENV_VAR, "").strip())
         self._scheduler = QueryScheduler(
             self.options.max_inflight,
             self.options.max_queue_depth,
             self._execute,
+            counter=self._count,
         )
         self._closed = False
+
+    def _count(self, name: str) -> None:
+        """Bump a service counter: the obs facade plus a local mirror
+        (``health()`` must work even when obs isn't installed)."""
+        obs.counter_add(name, 1)
+        with self._counters_lock:
+            self._counters[name] += 1
 
     # -- graph registry ------------------------------------------------------
     def register_graph(self, name: str, graph: DirectedGraph) -> None:
@@ -111,11 +169,19 @@ class InfluenceService:
         """Admit ``query`` and return a future for its outcome.
 
         Raises :class:`~repro.utils.errors.ServiceOverloadedError` when
-        the queue is full (backpressure — retry later) and
+        the queue is full (backpressure — retry later),
         :class:`~repro.utils.errors.ServiceClosedError` after
-        :meth:`close`.  Graph-reference and parameter validation happen
+        :meth:`close`, and :class:`~repro.utils.errors.CircuitOpenError`
+        when the query's stream breaker is open and no degraded answer
+        is cached.  Graph-reference and parameter validation happen
         here, synchronously; execution failures fail the future.
         """
+        future, _ = self._admit(query)
+        return future
+
+    def _admit(
+        self, query: InfluenceQuery
+    ) -> "tuple[Future[QueryOutcome], Deadline]":
         if self._closed:
             raise ServiceClosedError("service is closed")
         graph = self._resolve_graph(query.graph)
@@ -124,13 +190,106 @@ class InfluenceService:
                 f"k must be in [1, n]={graph.n}, got {query.k}"
             )
         key = query.coalesce_key(graph, self.options.chunk_sets)
-        obs.counter_add("service.queries", 1)
-        return self._scheduler.submit(ScheduledJob(query=query, key=key))
+        self._count("service.queries")
+        # every query carries a deadline token; an unbounded one still
+        # gives query(timeout=) a cooperative cancellation handle
+        seconds = (
+            query.deadline
+            if query.deadline is not None
+            else self.options.default_deadline
+        )
+        deadline = Deadline.after(seconds) if seconds else Deadline.never()
+        start = time.perf_counter()
+
+        decision = self._breaker.admit(key)
+        if decision == "open":
+            return self._serve_degraded(query, graph, key, start), deadline
+
+        job = ScheduledJob(query=query, key=key, deadline=deadline)
+        try:
+            future = self._scheduler.submit(job)
+        except ServiceOverloadedError:
+            if decision == "probe":
+                self._breaker.release_probe(key)
+            if self.options.degraded_serving:
+                # sustained overload: a cached answer beats a reject
+                degraded = self._degraded_outcome(query, graph, key, start)
+                if degraded is not None:
+                    self._count("service.admission_rejects.degraded")
+                    resolved: "Future[QueryOutcome]" = Future()
+                    resolved.set_result(degraded)
+                    return resolved, deadline
+            raise
+        except ServiceClosedError:
+            if decision == "probe":
+                self._breaker.release_probe(key)
+            raise
+        if decision == "probe":
+            # if the probe leaves without substrate evidence (queued
+            # expiry, exact hit, close), let the next arrival probe
+            future.add_done_callback(
+                lambda _f, key=key: self._breaker.release_probe(key)
+            )
+        return future, deadline
+
+    def _degraded_outcome(
+        self,
+        query: InfluenceQuery,
+        graph: DirectedGraph,
+        key: tuple,
+        start: float,
+    ) -> Optional[QueryOutcome]:
+        """Best cached stand-in for ``query``, flagged degraded."""
+        result_key = query.result_key(graph, self.options.chunk_sets)
+        cached = self._results.get(result_key)
+        if cached is not None:
+            return self._hit(query, cached, "exact", start, False, degraded=True)
+        relaxed = self._results.find_relaxed(
+            result_key, self.options.degraded_epsilon_slack
+        )
+        if relaxed is not None:
+            return self._hit(
+                query, relaxed[1], "exact", start, False, degraded=True
+            )
+        return None
+
+    def _serve_degraded(
+        self,
+        query: InfluenceQuery,
+        graph: DirectedGraph,
+        key: tuple,
+        start: float,
+    ) -> "Future[QueryOutcome]":
+        """Open-breaker path: cached degraded answer or bounded fast-fail."""
+        from repro.service.breaker import key_digest
+
+        if self.options.degraded_serving:
+            outcome = self._degraded_outcome(query, graph, key, start)
+            if outcome is not None:
+                future: "Future[QueryOutcome]" = Future()
+                future.set_result(outcome)
+                return future
+        self._count("service.breaker.rejects")
+        raise CircuitOpenError(key_digest(key), self._breaker.retry_after(key))
 
     def query(self, query: InfluenceQuery,
               timeout: Optional[float] = None) -> QueryOutcome:
-        """Blocking submit: admit ``query`` and wait for its outcome."""
-        return self.submit(query).result(timeout=timeout)
+        """Blocking submit: admit ``query`` and wait for its outcome.
+
+        On ``timeout`` the admitted job no longer leaks a worker slot:
+        the job is cancelled if still queued, or its deadline token is
+        cancelled so a running job aborts cooperatively at its next
+        check, before the timeout error propagates.
+        """
+        future, deadline = self._admit(query)
+        try:
+            return future.result(timeout=timeout)
+        except DeadlineExceededError:
+            raise
+        except FuturesTimeoutError:
+            if not future.cancel():
+                deadline.cancel()
+            raise
 
     # -- execution (scheduler workers land here) -----------------------------
     def _substrate_factory(self, query: InfluenceQuery, graph: DirectedGraph):
@@ -155,7 +314,12 @@ class InfluenceService:
     def _execute(self, job: ScheduledJob) -> QueryOutcome:
         query = job.query
         start = time.perf_counter()
-        with obs.span("service.query"):
+        with deadline_scope(job.deadline), obs.span("service.query"):
+            if self._faults is not None:
+                self._faults.fire("worker-thread")
+                self._faults.fire("queries")
+            if job.deadline is not None:
+                job.deadline.check("query admission")
             graph = self._resolve_graph(query.graph)
             result_key = query.result_key(graph, self.options.chunk_sets)
             cached = self._results.get(result_key)
@@ -173,23 +337,32 @@ class InfluenceService:
                         return self._hit(
                             query, cached, "exact", start, job.coalesced
                         )
+                    if job.deadline is not None:
+                        job.deadline.check("substrate wait")
                     assert substrate.store.key() == job.key  # by construction
                     before = substrate.store.num_cached
-                    with obs.span("service.run"):
-                        result = run_imm(
-                            graph,
-                            query.k,
-                            query.epsilon,
-                            options=query.options,
-                            store=substrate.store,
-                        )
+                    try:
+                        if self._faults is not None:
+                            self._faults.fire("substrate")
+                        with obs.span("service.run"):
+                            result = run_imm(
+                                graph,
+                                query.k,
+                                query.epsilon,
+                                options=query.options,
+                                store=substrate.store,
+                            )
+                    except _BREAKER_FAILURES:
+                        self._breaker.record_failure(job.key)
+                        raise
+                    self._breaker.record_success(job.key)
                     sampled = substrate.store.num_cached - before
             finally:
                 self._substrates.release(substrate)
             tier = "prefix" if warm and sampled == 0 else "cold"
             if tier == "prefix":
-                obs.counter_add("service.cache_hits", 1)
-                obs.counter_add("service.cache_hits.prefix", 1)
+                self._count("service.cache_hits")
+                self._count("service.cache_hits.prefix")
             obs.counter_add("service.sampled_sets", sampled)
             self._results.put(result_key, result)
             return QueryOutcome(
@@ -202,9 +375,12 @@ class InfluenceService:
             )
 
     def _hit(self, query: InfluenceQuery, result: IMMResult, tier: str,
-             start: float, coalesced: bool) -> QueryOutcome:
-        obs.counter_add("service.cache_hits", 1)
-        obs.counter_add(f"service.cache_hits.{tier}", 1)
+             start: float, coalesced: bool,
+             degraded: bool = False) -> QueryOutcome:
+        self._count("service.cache_hits")
+        self._count(f"service.cache_hits.{tier}")
+        if degraded:
+            self._count("service.degraded")
         return QueryOutcome(
             query=query,
             result=result,
@@ -212,6 +388,7 @@ class InfluenceService:
             sampled_sets=0,
             seconds=time.perf_counter() - start,
             coalesced=coalesced,
+            degraded=degraded,
         )
 
     # -- introspection / lifecycle -------------------------------------------
@@ -225,12 +402,51 @@ class InfluenceService:
             "registered_graphs": len(self._graphs),
         }
 
-    def drain(self, timeout: Optional[float] = None) -> None:
-        """Wait for every admitted query to finish executing."""
-        self._scheduler.drain(timeout)
+    def health(self) -> dict:
+        """A readiness snapshot: serving state, load, and breaker health.
+
+        ``status`` is ``"ok"`` while serving, ``"closed"`` after
+        :meth:`close`.  Everything else is observational: queue depth
+        and in-flight count, worker-thread liveness, per-stream breaker
+        states, substrate residency (cached sets / in-flight /
+        lifetime queries per stream), and the service's counter mirror
+        (deadline expiries, breaker transitions, degraded serves, ...).
+        """
+        with self._counters_lock:
+            counters = dict(self._counters)
+        return {
+            "status": "closed" if self._closed else "ok",
+            "queue_depth": self._scheduler.queue_depth,
+            "inflight": self._scheduler.inflight,
+            "workers_alive": sum(
+                1 for w in self._scheduler._workers if w.is_alive()
+            ),
+            "max_inflight": self.options.max_inflight,
+            "max_queue_depth": self.options.max_queue_depth,
+            "breakers": self._breaker.snapshot(),
+            "substrates": self._substrates.residency(),
+            "exact_cache_entries": len(self._results),
+            "registered_graphs": len(self._graphs),
+            "counters": counters,
+        }
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait for every admitted query to finish executing.
+
+        Returns ``True`` when the queue fully drained, ``False`` when
+        ``timeout`` expired with work still running — the caller
+        decides whether to wait again or close anyway.
+        """
+        return self._scheduler.drain(timeout)
 
     def close(self, wait: bool = True) -> None:
-        """Stop admitting queries, finish in-flight ones, free caches."""
+        """Stop admitting queries and shut down.
+
+        In-flight queries finish; still-queued queries fail their
+        futures with :class:`ServiceClosedError` (counted as
+        ``service.closed_rejects``) — no admitted future is ever left
+        unresolved.  Then substrate stores close and caches clear.
+        """
         if self._closed:
             return
         self._closed = True

@@ -66,6 +66,42 @@ class ServiceClosedError(ServiceError):
     """A query was submitted to a service after :meth:`close`."""
 
 
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A cooperative deadline expired (or was cancelled) mid-run.
+
+    Raised at the deadline checkpoints of the query path — between
+    scheduler admission and execution, between sampling supervision
+    rounds, between store chunk top-ups, and between IMM estimation
+    phases — so an expired or cancelled query frees its worker slot at
+    the next checkpoint instead of holding it to completion.
+    """
+
+    def __init__(self, what: str = "", cancelled: bool = False):
+        self.what = what
+        self.cancelled = bool(cancelled)
+        cause = "cancelled" if cancelled else "deadline exceeded"
+        super().__init__(f"{cause}{f' during {what}' if what else ''}")
+
+
+class CircuitOpenError(ServiceError):
+    """The stream's circuit breaker is open and no degraded answer exists.
+
+    Fast-fail, not a bug: the substrate behind this stream identity kept
+    failing (crashes past the retry budget, OOM), so the service refuses
+    to queue more work onto it until the breaker's reset timeout admits
+    a probe.  Retry after ``retry_after`` seconds, or relax ``epsilon``
+    far enough to hit a cached degraded answer.
+    """
+
+    def __init__(self, key_digest: str, retry_after: float):
+        self.key_digest = key_digest
+        self.retry_after = float(retry_after)
+        super().__init__(
+            f"circuit breaker open for stream {key_digest} "
+            f"(substrate kept failing); retry in ~{retry_after:.1f}s"
+        )
+
+
 class DeviceOOMError(ReproError, MemoryError):
     """A simulated device allocation exceeded the device's global memory.
 

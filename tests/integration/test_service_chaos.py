@@ -1,0 +1,248 @@
+"""Service-layer chaos hammer: the acceptance drill for serving resilience.
+
+Eight client threads fire a mixed workload — some queries carrying tight
+deadlines — at one :class:`~repro.service.service.InfluenceService`
+while service-scoped ``REPRO_FAULTS`` clauses (slow queries, substrate
+OOM, worker-thread crashes) fire underneath.  The contract under any
+plan:
+
+* **every submitted future resolves** — a result (possibly degraded), a
+  :class:`DeadlineExceededError`, a :class:`CircuitOpenError`, the
+  injected fault itself, or :class:`ServiceClosedError` at shutdown;
+  never a stranded waiter;
+* **no leaks** — worker threads join at close, no shared-memory
+  segments stay registered;
+* **determinism survives chaos** — every *non-degraded* completed query
+  is bit-identical to a direct serial :func:`~repro.imm.imm.run_imm`
+  against a fresh same-identity store.
+
+In CI the service chaos matrix exports ``REPRO_FAULTS`` (one plan per
+job) and ``REPRO_FAULTS_REPORT``; the service's health counters become
+the build artifact.
+"""
+
+import json
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.imm.imm import run_imm
+from repro.imm.options import IMMOptions
+from repro.resilience.faults import ENV_VAR, InjectedFaultError
+from repro.rrr.parallel import shutdown_pools
+from repro.rrr.store import RRRStore
+from repro.service import (
+    InfluenceQuery,
+    InfluenceService,
+    ServiceOptions,
+)
+from repro.shm.segments import REGISTRY
+from repro.utils.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+
+# captured at import time: the CI matrix exports the plan before pytest
+# starts, and the autouse scrub below must not erase it
+_AMBIENT_FAULTS = os.environ.get(ENV_VAR, "").strip()
+_REPORT_PATH = os.environ.get("REPRO_FAULTS_REPORT", "").strip()
+
+#: the local drill when CI doesn't export a plan: all three service
+#: scopes fire at deterministic occurrences
+_DEFAULT_PLAN = (
+    "slow(0.15)@queries#0,5;oom@substrate#1;crash@worker-thread#3"
+)
+
+CHUNK_SETS = 256
+WORKLOAD = [(k, eps) for k in (2, 3, 4, 5) for eps in (0.3, 0.35)]
+CLIENTS = 8
+REPEATS = 3
+#: every Nth query carries a deadline far too tight to finish cold
+TIGHT_DEADLINE_EVERY = 7
+
+_RESOLUTIONS = (
+    DeadlineExceededError,
+    CircuitOpenError,
+    ServiceClosedError,
+    MemoryError,
+    InjectedFaultError,
+)
+
+
+@pytest.fixture(autouse=True)
+def _pools_cleanup(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    yield
+    shutdown_pools()
+
+
+def _serial_answers(graph, options):
+    answers = {}
+    for k, eps in WORKLOAD:
+        store = RRRStore(
+            graph,
+            model=options.model,
+            eliminate_sources=options.eliminate_sources,
+            n_jobs=options.n_jobs,
+            chunk_sets=CHUNK_SETS,
+            batch_size=options.batch_size,
+            resilience=options.resilience,
+        )
+        answers[(k, eps)] = run_imm(graph, k, eps, options=options,
+                                    store=store)
+        store.close()
+    return answers
+
+
+def _service_worker_threads():
+    return [
+        t for t in threading.enumerate()
+        if t.name.startswith("repro-service-worker") and t.is_alive()
+    ]
+
+
+def test_chaos_hammer_every_future_resolves(small_ic_graph, monkeypatch):
+    plan = _AMBIENT_FAULTS or _DEFAULT_PLAN
+    monkeypatch.setenv(ENV_VAR, plan)
+
+    options = IMMOptions()
+    expected = _serial_answers(small_ic_graph, options)
+    baseline_workers = len(_service_worker_threads())
+
+    service = InfluenceService(ServiceOptions(
+        max_inflight=4, max_queue_depth=256, chunk_sets=CHUNK_SETS,
+        breaker_failure_threshold=3, breaker_reset_timeout=0.5,
+    ))
+    service.register_graph("g", small_ic_graph)
+
+    queries = []
+    for repeat in range(REPEATS):
+        for idx, (k, eps) in enumerate(WORKLOAD):
+            n = repeat * len(WORKLOAD) + idx
+            deadline = 0.002 if n % TIGHT_DEADLINE_EVERY == 6 else None
+            queries.append(InfluenceQuery(
+                "g", k=k, epsilon=eps, options=options, deadline=deadline,
+            ))
+
+    submitted = []
+    lock = threading.Lock()
+
+    def client(query):
+        try:
+            future = service.submit(query)
+        except (ServiceOverloadedError, CircuitOpenError,
+                ServiceClosedError):
+            return  # rejected at admission: nothing to strand
+        with lock:
+            submitted.append((query, future))
+
+    try:
+        with ThreadPoolExecutor(max_workers=CLIENTS) as clients:
+            list(clients.map(client, queries))
+        assert service.drain(timeout=300) is True
+
+        outcomes, failures = [], []
+        for query, future in submitted:
+            # the whole point: a bounded wait always resolves
+            try:
+                outcomes.append((query, future.result(timeout=60)))
+            except _RESOLUTIONS as exc:
+                failures.append((query, exc))
+        assert len(outcomes) + len(failures) == len(submitted)
+
+        # determinism survives chaos: non-degraded answers are
+        # bit-identical to the serial ground truth
+        checked = 0
+        for query, outcome in outcomes:
+            if outcome.degraded:
+                continue
+            truth = expected[(query.k, query.epsilon)]
+            assert np.array_equal(outcome.seeds, truth.seeds), (
+                f"k={query.k} eps={query.epsilon} diverged under {plan!r}"
+            )
+            assert outcome.result.theta == truth.theta
+            checked += 1
+        assert checked > 0, "chaos plan starved every query"
+
+        health = service.health()
+        assert health["workers_alive"] == 4
+    finally:
+        service.close()
+
+    # zero leaked worker threads, zero leaked shm segments
+    deadline = time.monotonic() + 10
+    while (len(_service_worker_threads()) > baseline_workers
+           and time.monotonic() < deadline):
+        time.sleep(0.02)
+    assert len(_service_worker_threads()) <= baseline_workers
+    assert REGISTRY.active_count == 0
+
+    if _REPORT_PATH:
+        path = Path(_REPORT_PATH)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({
+            "plan": plan,
+            "submitted": len(submitted),
+            "completed": len(outcomes),
+            "failed": len(failures),
+            "degraded": sum(1 for _, o in outcomes if o.degraded),
+            "failure_kinds": sorted(
+                {type(exc).__name__ for _, exc in failures}
+            ),
+            "counters": health["counters"],
+            "breakers": health["breakers"],
+        }, indent=2))
+
+
+def test_chaos_close_mid_storm_strands_nothing(small_ic_graph, monkeypatch):
+    """Closing while clients are still submitting resolves everything."""
+    monkeypatch.setenv(ENV_VAR, "slow(0.1)@queries")
+    service = InfluenceService(ServiceOptions(
+        max_inflight=2, max_queue_depth=64, chunk_sets=CHUNK_SETS,
+    ))
+    service.register_graph("g", small_ic_graph)
+
+    submitted = []
+    lock = threading.Lock()
+    storm = threading.Barrier(CLIENTS + 1)
+
+    def client(idx):
+        storm.wait()
+        for i in range(4):
+            query = InfluenceQuery("g", k=2 + (idx + i) % 4, epsilon=0.3)
+            try:
+                future = service.submit(query)
+            except (ServiceClosedError, ServiceOverloadedError):
+                continue
+            with lock:
+                submitted.append(future)
+
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(CLIENTS)
+    ]
+    for t in threads:
+        t.start()
+    storm.wait()
+    time.sleep(0.05)  # let some queries land mid-flight
+    service.close(wait=True)
+    for t in threads:
+        t.join(30)
+
+    resolved = 0
+    for future in submitted:
+        try:
+            outcome = future.result(timeout=30)
+            assert len(outcome.seeds) == outcome.query.k
+        except (ServiceClosedError, DeadlineExceededError):
+            pass
+        resolved += 1
+    assert resolved == len(submitted)
+    assert len(_service_worker_threads()) == 0
+    assert REGISTRY.active_count == 0

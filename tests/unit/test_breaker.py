@@ -1,0 +1,129 @@
+"""State-machine tests for the per-stream circuit breaker (fake clock)."""
+
+import pytest
+
+from repro.service.breaker import CircuitBreaker, key_digest
+from repro.utils.errors import ValidationError
+
+KEY = ("graph", "IC", 0)
+OTHER = ("graph", "LT", 1)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    counts = []
+    b = CircuitBreaker(failure_threshold=3, reset_timeout=10.0,
+                       clock=clock, counter=counts.append)
+    b.counts = counts
+    return b
+
+
+def test_validation():
+    with pytest.raises(ValidationError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValidationError):
+        CircuitBreaker(reset_timeout=0)
+
+
+def test_stays_closed_below_threshold(breaker):
+    breaker.record_failure(KEY)
+    breaker.record_failure(KEY)
+    assert breaker.state(KEY) == "closed"
+    assert breaker.admit(KEY) == "closed"
+
+
+def test_success_resets_consecutive_count(breaker):
+    breaker.record_failure(KEY)
+    breaker.record_failure(KEY)
+    breaker.record_success(KEY)
+    breaker.record_failure(KEY)
+    breaker.record_failure(KEY)
+    assert breaker.state(KEY) == "closed"  # never 3 in a row
+
+
+def test_opens_at_threshold_and_rejects(breaker):
+    for _ in range(3):
+        breaker.record_failure(KEY)
+    assert breaker.state(KEY) == "open"
+    assert breaker.admit(KEY) == "open"
+    assert "service.breaker.opened" in breaker.counts
+    assert 0.0 < breaker.retry_after(KEY) <= 10.0
+
+
+def test_streams_are_independent(breaker):
+    for _ in range(3):
+        breaker.record_failure(KEY)
+    assert breaker.admit(OTHER) == "closed"
+    assert breaker.state(OTHER) == "closed"
+
+
+def test_half_open_single_probe(breaker, clock):
+    for _ in range(3):
+        breaker.record_failure(KEY)
+    clock.advance(10.0)
+    assert breaker.admit(KEY) == "probe"
+    assert breaker.state(KEY) == "half_open"
+    # while the probe is in flight everyone else stays degraded
+    assert breaker.admit(KEY) == "open"
+
+
+def test_probe_success_closes(breaker, clock):
+    for _ in range(3):
+        breaker.record_failure(KEY)
+    clock.advance(10.0)
+    assert breaker.admit(KEY) == "probe"
+    breaker.record_success(KEY)
+    assert breaker.state(KEY) == "closed"
+    assert breaker.admit(KEY) == "closed"
+    assert "service.breaker.closed" in breaker.counts
+
+
+def test_probe_failure_reopens_and_restarts_timer(breaker, clock):
+    for _ in range(3):
+        breaker.record_failure(KEY)
+    clock.advance(10.0)
+    assert breaker.admit(KEY) == "probe"
+    breaker.record_failure(KEY)  # a single failure re-opens from half-open
+    assert breaker.state(KEY) == "open"
+    clock.advance(9.0)
+    assert breaker.admit(KEY) == "open"  # timer restarted at probe failure
+    clock.advance(1.0)
+    assert breaker.admit(KEY) == "probe"
+
+
+def test_release_probe_lets_next_arrival_probe(breaker, clock):
+    for _ in range(3):
+        breaker.record_failure(KEY)
+    clock.advance(10.0)
+    assert breaker.admit(KEY) == "probe"
+    # the probe left without substrate evidence (e.g. exact cache hit)
+    breaker.release_probe(KEY)
+    assert breaker.state(KEY) == "half_open"
+    assert breaker.admit(KEY) == "probe"
+
+
+def test_snapshot_shape(breaker):
+    for _ in range(4):
+        breaker.record_failure(KEY)
+    snap = breaker.snapshot()
+    entry = snap[key_digest(KEY)]
+    assert entry["state"] == "open"
+    assert entry["failures_total"] == 4
+    assert entry["opened_total"] == 1
+    assert all(len(digest) == 12 for digest in snap)

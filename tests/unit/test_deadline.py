@@ -1,0 +1,78 @@
+"""Tests for the cooperative deadline token and its ambient scope."""
+
+import threading
+
+import pytest
+
+from repro.resilience.deadline import Deadline, active_deadline, deadline_scope
+from repro.utils.errors import DeadlineExceededError, ValidationError
+
+
+def test_after_none_is_unbounded():
+    d = Deadline.after(None)
+    assert not d.expired
+    assert d.remaining() is None
+    d.check("anything")  # never raises
+
+
+def test_after_rejects_nonpositive():
+    with pytest.raises(ValidationError):
+        Deadline.after(0)
+    with pytest.raises(ValidationError):
+        Deadline.after(-1.5)
+
+
+def test_expiry_and_check():
+    d = Deadline.after(0.01)
+    assert d.remaining() <= 0.01
+    deadline_hit = threading.Event()
+    deadline_hit.wait(0.05)
+    assert d.expired
+    assert d.remaining() == 0.0
+    with pytest.raises(DeadlineExceededError, match="during sampling"):
+        d.check("sampling")
+
+
+def test_cancel_expires_immediately():
+    d = Deadline.never()
+    assert not d.expired and d.remaining() is None
+    d.cancel()
+    assert d.cancelled and d.expired
+    assert d.remaining() == 0.0
+    with pytest.raises(DeadlineExceededError, match="cancelled"):
+        d.check()
+
+
+def test_deadline_exceeded_is_timeout_error():
+    # callers catching builtin TimeoutError must see deadline expiry
+    assert issubclass(DeadlineExceededError, TimeoutError)
+    exc = DeadlineExceededError("a phase", cancelled=True)
+    assert exc.cancelled and "a phase" in str(exc)
+
+
+def test_ambient_scope_set_and_restore():
+    assert active_deadline() is None
+    outer = Deadline.after(60)
+    with deadline_scope(outer):
+        assert active_deadline() is outer
+        inner = Deadline.after(1)
+        with deadline_scope(inner):
+            assert active_deadline() is inner
+        assert active_deadline() is outer
+    assert active_deadline() is None
+
+
+def test_ambient_scope_none_clears_inherited():
+    with deadline_scope(Deadline.after(60)):
+        with deadline_scope(None):
+            assert active_deadline() is None
+        assert active_deadline() is not None
+
+
+def test_ambient_scope_is_per_thread():
+    seen = []
+    with deadline_scope(Deadline.after(60)):
+        t = threading.Thread(target=lambda: seen.append(active_deadline()))
+        t.start()
+        t.join()
+    assert seen == [None]  # fresh threads don't inherit the scope

@@ -118,6 +118,7 @@ def test_tcp_roundtrip_ephemeral_port(service):
     try:
         first = request_once(host, port, {"graph": "g", "k": 5, "epsilon": 0.3})
         assert first["ok"] is True and len(first["seeds"]) == 5
+        assert first["degraded"] is False
         repeat = request_once(host, port, {"graph": "g", "k": 5, "epsilon": 0.3})
         assert repeat["cache"] == "exact"
         assert repeat["seeds"] == first["seeds"]
@@ -126,3 +127,112 @@ def test_tcp_roundtrip_ephemeral_port(service):
     finally:
         server.shutdown()
         server.server_close()
+
+
+# -- protocol robustness (one bad connection never kills the accept loop) ----
+
+
+@pytest.fixture
+def tcp_server(service):
+    server = InfluenceTCPServer(service, port=0, read_timeout=2.0,
+                                max_request_bytes=4096)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server.server_address
+    server.shutdown()
+    server.server_close()
+
+
+def _connect(address):
+    import socket
+
+    return socket.create_connection(address, timeout=10)
+
+
+def _send_line(conn, payload: bytes):
+    conn.sendall(payload + b"\n")
+
+
+def _read_line(conn) -> bytes:
+    buffer = b""
+    while not buffer.endswith(b"\n"):
+        chunk = conn.recv(65536)
+        if not chunk:
+            break
+        buffer += chunk
+    return buffer
+
+
+def test_malformed_then_valid_on_same_connection(tcp_server):
+    with _connect(tcp_server) as conn:
+        _send_line(conn, b"{not json at all")
+        bad = json.loads(_read_line(conn))
+        assert bad["ok"] is False and "bad JSON" in bad["error"]
+        # the connection survived the poison line
+        _send_line(conn, json.dumps(
+            {"graph": "g", "k": 3, "epsilon": 0.3}).encode())
+        good = json.loads(_read_line(conn))
+        assert good["ok"] is True and len(good["seeds"]) == 3
+
+
+def test_oversized_request_errors_one_connection_only(tcp_server):
+    with _connect(tcp_server) as conn:
+        _send_line(conn, b"x" * 10_000)  # over the 4096-byte limit
+        response = json.loads(_read_line(conn))
+        assert response["ok"] is False and "exceeds" in response["error"]
+        assert _read_line(conn) == b""  # server closed this connection
+    # the accept loop is alive: a fresh connection still serves
+    host, port = tcp_server
+    ok = request_once(host, port, {"graph": "g", "k": 3, "epsilon": 0.3})
+    assert ok["ok"] is True
+
+
+def test_client_disconnect_mid_request_keeps_serving(tcp_server):
+    with _connect(tcp_server) as conn:
+        conn.sendall(b'{"graph": "g", "k": 3')  # no newline: mid-frame
+    # abrupt close; the handler thread ends quietly and the accept loop
+    # keeps serving new connections
+    host, port = tcp_server
+    ok = request_once(host, port, {"graph": "g", "k": 3, "epsilon": 0.3})
+    assert ok["ok"] is True
+
+
+def test_read_timeout_closes_idle_connection(service):
+    server = InfluenceTCPServer(service, port=0, read_timeout=0.2)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        with _connect(server.server_address) as conn:
+            response = json.loads(_read_line(conn))  # we sent nothing
+            assert response["ok"] is False and "timeout" in response["error"]
+            assert _read_line(conn) == b""
+        host, port = server.server_address
+        ok = request_once(host, port, {"graph": "g", "k": 3, "epsilon": 0.3})
+        assert ok["ok"] is True
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_health_request_over_tcp(tcp_server):
+    host, port = tcp_server
+    request_once(host, port, {"graph": "g", "k": 3, "epsilon": 0.3})
+    response = request_once(host, port, {"health": True})
+    assert response["ok"] is True
+    health = response["health"]
+    assert health["status"] == "ok"
+    assert health["workers_alive"] >= 1
+    assert health["counters"]["service.queries"] >= 1
+
+
+def test_deadline_request_field(service):
+    expired = handle_request(
+        service,
+        {"graph": "g", "k": 5, "epsilon": 0.3, "deadline": 1e-4},
+    )
+    # so small a budget expires in the queue or at admission
+    assert expired["ok"] is False and expired["deadline_expired"] is True
+    ok = handle_request(
+        service, {"graph": "g", "k": 5, "epsilon": 0.3, "deadline": 60.0}
+    )
+    assert ok["ok"] is True and len(ok["seeds"]) == 5
