@@ -92,6 +92,22 @@ def _workload_parent(
                              "'reference' (the Alg. 3 oracle); seeds and "
                              "selection stats are bit-identical across all "
                              "three")
+    parent.add_argument("--visited-mode", default=None,
+                        choices=["auto", "sorted", "bitset"],
+                        help="sampler visited bookkeeping: 'bitset' keeps a "
+                             "dense word-packed visited plane, 'sorted' the "
+                             "classic sorted-key array; 'auto' picks bitset "
+                             "whenever the plane fits the kernel memory "
+                             "budget (default: REPRO_VISITED_MODE, else "
+                             "auto; output is bit-identical in every mode)")
+    parent.add_argument("--coverage-scan", default=None,
+                        choices=["auto", "csr", "bitset"],
+                        help="seed-selection coverage scan: 'bitset' popcounts "
+                             "word-packed membership rows, 'csr' walks the "
+                             "inverted-index postings; 'auto' picks by the "
+                             "kernel memory budget (default: "
+                             "REPRO_COVERAGE_SCAN, else auto; seeds and "
+                             "stats are identical either way)")
     parent.add_argument("--data-plane", default=None, choices=["pickle", "shm"],
                         help="parent<->worker transport: 'shm' publishes the "
                              "graph once into shared memory and ships results "
@@ -221,6 +237,7 @@ def _cmd_seeds(args) -> int:
             n_jobs=args.jobs,
             resilience=resilience,
             data_plane=args.data_plane,
+            visited_mode=args.visited_mode,
         )
     result = run_imm(
         graph, args.k, args.epsilon, rng=args.seed,
@@ -233,6 +250,8 @@ def _cmd_seeds(args) -> int:
             profile=args.profile or args.profile_json is not None,
             resilience=resilience,
             data_plane=args.data_plane,
+            visited_mode=args.visited_mode,
+            coverage_scan=args.coverage_scan,
         ),
         store=store,
     )
@@ -272,6 +291,8 @@ def _cmd_compare(args) -> int:
         checkpoint_dir=args.checkpoint_dir,
         data_plane=args.data_plane,
         selection_strategy=args.selection_strategy,
+        visited_mode=args.visited_mode,
+        coverage_scan=args.coverage_scan,
     )
     handle = obs.install() if args.profile else None
     row = compare_engines(args.dataset, args.k, args.epsilon, args.model, cfg)

@@ -121,6 +121,7 @@ def _warm_stores(graph, model, rep, config, pool):
             pool=pool,
             resilience=config.resilience(),
             data_plane=config.data_plane,
+            visited_mode=config.visited_mode,
         )
 
     return make(True), make(False)
@@ -199,6 +200,8 @@ def compare_engines(
                                    n_jobs=config.n_jobs,
                                    resilience=resilience,
                                    selection_strategy=config.selection_strategy,
+                                   visited_mode=config.visited_mode,
+                                   coverage_scan=config.coverage_scan,
                                ))
             )
         except MemoryError as exc:
@@ -210,7 +213,9 @@ def compare_engines(
                                    bounds=bounds, n_jobs=config.n_jobs,
                                    resilience=resilience,
                                    data_plane=config.data_plane,
-                                   selection_strategy=config.selection_strategy),
+                                   selection_strategy=config.selection_strategy,
+                                   visited_mode=config.visited_mode,
+                                   coverage_scan=config.coverage_scan),
                 pool=pool, store=vanilla_store,
             )
         except MemoryError as exc:

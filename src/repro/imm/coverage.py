@@ -33,6 +33,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import obs
+from repro.kernels import MembershipPlane
 from repro.utils.errors import ValidationError
 from repro.utils.segments import segmented_arange
 
@@ -51,7 +52,15 @@ class CoverageIndex:
     stream in different extend granularities yields identical postings.
     """
 
-    __slots__ = ("n", "num_elements", "max_blocks", "_starts", "_postings", "_bounds")
+    __slots__ = (
+        "n",
+        "num_elements",
+        "max_blocks",
+        "_starts",
+        "_postings",
+        "_bounds",
+        "_membership",
+    )
 
     def __init__(self, n: int, max_blocks: int = _DEFAULT_MAX_BLOCKS):
         if n < 1:
@@ -64,6 +73,10 @@ class CoverageIndex:
         self._starts: list[np.ndarray] = []  # per block: (n+1,) CSR row starts
         self._postings: list[np.ndarray] = []  # per block: global positions
         self._bounds: list[tuple[int, int]] = []  # per block: [lo, hi) element range
+        # lazily built packed vertex->set membership plane for the
+        # word-parallel coverage scan; extended append-only alongside
+        # the stream, so one plane serves every prefix of a sweep
+        self._membership: MembershipPlane | None = None
 
     # -- construction --------------------------------------------------------
     @classmethod
@@ -167,6 +180,23 @@ class CoverageIndex:
                 out += np.bincount(kept, minlength=self.n)
         return out
 
+    def membership(self, collection) -> MembershipPlane:
+        """The packed vertex->set membership plane over ``collection``.
+
+        Built lazily on the first word-parallel scan and extended
+        append-only as the stream grows (same prefix-consistency
+        contract as :meth:`extend_to`); a plane grown over a longer
+        stream serves shorter prefix views via the scan's tail mask.
+        """
+        if collection.n != self.n:
+            raise ValidationError(
+                f"index over n={self.n} cannot take a collection with n={collection.n}"
+            )
+        if self._membership is None:
+            self._membership = MembershipPlane(self.n)
+        extend_membership(self._membership, collection)
+        return self._membership
+
     # -- maintenance ---------------------------------------------------------
     def _compact(self) -> None:
         """Merge every block into one — an O(total) scatter, no re-sort.
@@ -203,3 +233,25 @@ def _segment_vertices(starts: np.ndarray, keep: np.ndarray) -> np.ndarray:
     """Vertex id of each kept posting in a block (for partial counts)."""
     verts = np.repeat(np.arange(starts.size - 1, dtype=np.int64), np.diff(starts))
     return verts[keep]
+
+
+def extend_membership(plane: MembershipPlane, collection) -> None:
+    """Grow ``plane`` over ``collection``'s stream suffix it has not seen.
+
+    Set ids for the new elements come from the collection's offsets —
+    valid stream-wide because prefix-consistent collections share their
+    offset prefix.  A collection shorter than the plane is a no-op (the
+    scan clips with a tail mask instead).
+    """
+    total = collection.total_elements
+    if plane.num_elements >= total:
+        return
+    start = plane.num_elements
+    offsets = collection.offsets
+    first = int(np.searchsorted(offsets, start, side="right")) - 1
+    seg_counts = np.diff(offsets[first:]).astype(np.int64)
+    seg_counts[0] = offsets[first + 1] - start
+    seg_set_ids = np.repeat(
+        np.arange(first, collection.num_sets, dtype=np.int64), seg_counts
+    )
+    plane.extend(collection.flat[start:total], seg_set_ids, collection.num_sets)

@@ -233,6 +233,7 @@ def _run_imm_core(
                 model, count, rng=gen,
                 eliminate_sources=eliminate_sources,
                 batch_size=options.batch_size,
+                visited_mode=options.visited_mode,
                 resilience=options.resilience,
             )
     else:
@@ -243,6 +244,7 @@ def _run_imm_core(
                 graph, count, rng=gen,
                 eliminate_sources=eliminate_sources,
                 batch_size=options.batch_size,
+                visited_mode=options.visited_mode,
             )
 
     ell = adjusted_ell(graph.n, bounds.ell)
@@ -299,6 +301,7 @@ def _run_imm_core(
                     collection, k,
                     strategy=options.selection_strategy,
                     index=selection_index(),
+                    scan=options.coverage_scan,
                 )
             last_selection = sel
             influence_est = n * sel.coverage_fraction
@@ -342,6 +345,7 @@ def _run_imm_core(
                 collection, k,
                 strategy=options.selection_strategy,
                 index=selection_index(),
+                scan=options.coverage_scan,
             )
     else:
         # the last estimation phase already ran greedy on this exact

@@ -63,6 +63,19 @@ class IMMOptions:
         ``REPRO_DATA_PLANE`` environment variable, then to ``"shm"``
         wherever OS shared memory works.  Output is bit-identical
         across planes.
+    visited_mode:
+        Sampler visited-bookkeeping implementation: ``"sorted"``
+        (merged key array), ``"bitset"`` (dense word-parallel visited
+        plane), or ``"auto"`` (bitset whenever the plane fits the
+        kernel memory budget).  ``None`` defers to
+        ``REPRO_VISITED_MODE``, then ``"auto"``.  Output is
+        bit-identical across modes.
+    coverage_scan:
+        Seed-selection marginal-coverage scan: ``"csr"`` (inverted
+        postings), ``"bitset"`` (word-parallel popcount over a packed
+        membership plane), or ``"auto"`` (budget-gated).  ``None``
+        defers to ``REPRO_COVERAGE_SCAN``, then ``"auto"``.  Seeds and
+        statistics are bit-identical across scans.
     """
 
     model: str = "IC"
@@ -74,6 +87,8 @@ class IMMOptions:
     profile: bool = False
     resilience: ResilienceOptions | None = None
     data_plane: str | None = None
+    visited_mode: str | None = None
+    coverage_scan: str | None = None
 
     def __post_init__(self):
         object.__setattr__(self, "model", str(self.model).upper())
@@ -104,6 +119,18 @@ class IMMOptions:
                     "choose 'pickle' or 'shm' (or None for the default)"
                 )
             object.__setattr__(self, "data_plane", plane)
+        if self.visited_mode is not None:
+            from repro.kernels import resolve_visited_mode
+
+            object.__setattr__(
+                self, "visited_mode", resolve_visited_mode(self.visited_mode)
+            )
+        if self.coverage_scan is not None:
+            from repro.kernels import resolve_coverage_scan
+
+            object.__setattr__(
+                self, "coverage_scan", resolve_coverage_scan(self.coverage_scan)
+            )
 
     def replace(self, **changes) -> "IMMOptions":
         """A copy with ``changes`` applied (frozen-dataclass convenience)."""

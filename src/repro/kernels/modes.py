@@ -1,0 +1,110 @@
+"""Kernel-mode resolution: which visited/scan implementation runs.
+
+Both knobs are *operational* — every implementation produces
+bit-identical output — so, like the data plane, they are resolved at
+call time (explicit value > environment > ``auto``) and never become
+part of store or pool identities.  ``auto`` picks the dense bitset
+implementation only when its plane fits an explicit memory budget and
+falls back to the sparse path otherwise; fallbacks are counted
+(``kernels.bitset.fallbacks``), not raised.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro import obs
+from repro.kernels.bitset import words_for_bits
+from repro.utils.errors import ValidationError
+
+#: how the samplers keep per-traversal visited state
+VISITED_MODES = ("auto", "sorted", "bitset")
+#: how seed selection computes marginal coverage
+COVERAGE_SCANS = ("auto", "csr", "bitset")
+
+ENV_VISITED_MODE = "REPRO_VISITED_MODE"
+ENV_COVERAGE_SCAN = "REPRO_COVERAGE_SCAN"
+ENV_BUDGET_MB = "REPRO_KERNEL_BUDGET_MB"
+
+#: default ceiling for any single dense bit plane (visited plane or
+#: membership plane); ``auto`` falls back to the sparse path above it
+DEFAULT_PLANE_BUDGET_BYTES = 64 * 1024 * 1024
+
+
+def plane_budget_bytes() -> int:
+    """The dense-plane byte budget (``REPRO_KERNEL_BUDGET_MB`` override)."""
+    raw = os.environ.get(ENV_BUDGET_MB)
+    if raw is None or not str(raw).strip():
+        return DEFAULT_PLANE_BUDGET_BYTES
+    try:
+        budget = int(float(str(raw).strip()) * 1024 * 1024)
+    except ValueError:
+        raise ValidationError(
+            f"{ENV_BUDGET_MB} must be a number of MiB, got {raw!r}"
+        ) from None
+    if budget <= 0:
+        raise ValidationError(f"{ENV_BUDGET_MB} must be positive, got {raw!r}")
+    return budget
+
+
+def resolve_visited_mode(value: Optional[str] = None) -> str:
+    """Normalize a visited-mode request (explicit > env > ``auto``)."""
+    if value is None:
+        value = os.environ.get(ENV_VISITED_MODE) or None
+    if value is None:
+        return "auto"
+    mode = str(value).strip().lower()
+    if mode not in VISITED_MODES:
+        raise ValidationError(
+            f"unknown visited mode {value!r}; choose one of {VISITED_MODES}"
+        )
+    return mode
+
+
+def resolve_coverage_scan(value: Optional[str] = None) -> str:
+    """Normalize a coverage-scan request (explicit > env > ``auto``)."""
+    if value is None:
+        value = os.environ.get(ENV_COVERAGE_SCAN) or None
+    if value is None:
+        return "auto"
+    scan = str(value).strip().lower()
+    if scan not in COVERAGE_SCANS:
+        raise ValidationError(
+            f"unknown coverage scan {value!r}; choose one of {COVERAGE_SCANS}"
+        )
+    return scan
+
+
+def choose_visited_impl(mode: str, batch: int, n: int) -> str:
+    """Pick ``'bitset'`` or ``'sorted'`` for one sampler batch.
+
+    The whole ``(batch x n)``-bit plane must fit the budget: shrinking
+    the plane by running the batch in sequential slices would reorder
+    RNG consumption and break bit-identical parity, so over budget the
+    batch runs on the sorted-key path instead (counted as a fallback).
+    """
+    mode = resolve_visited_mode(mode)
+    if mode != "auto":
+        return mode
+    plane_bytes = int(batch) * words_for_bits(n) * 8
+    if plane_bytes <= plane_budget_bytes():
+        return "bitset"
+    obs.counter_add("kernels.bitset.fallbacks", 1)
+    return "sorted"
+
+
+def choose_scan_impl(scan: str, n: int, num_sets: int) -> str:
+    """Pick ``'bitset'`` or ``'csr'`` for one selection run.
+
+    Budget-gated on the ``(n x num_sets)``-bit membership plane the
+    bitset scan would materialize.
+    """
+    scan = resolve_coverage_scan(scan)
+    if scan != "auto":
+        return scan
+    plane_bytes = int(n) * words_for_bits(num_sets) * 8
+    if plane_bytes <= plane_budget_bytes():
+        return "bitset"
+    obs.counter_add("kernels.bitset.fallbacks", 1)
+    return "csr"

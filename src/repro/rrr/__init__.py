@@ -27,6 +27,7 @@ __all__ = [
     "RRRStore",
     "SamplerPool",
     "SampleTrace",
+    "clear_selection_indices",
     "collection_statistics",
     "coverage_concentration",
     "eliminate_sources_post_hoc",
@@ -51,6 +52,10 @@ def __getattr__(name: str):
         from repro.rrr import store
 
         return getattr(store, name)
+    if name == "clear_selection_indices":
+        from repro.rrr.sampler_lt import clear_selection_indices
+
+        return clear_selection_indices
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

@@ -112,6 +112,7 @@ def _worker_sample(args):
         seed_seq,
         eliminate_sources,
         batch_size,
+        visited_mode,
         pack_results,
         job_index,
         attempt,
@@ -131,6 +132,7 @@ def _worker_sample(args):
         rng=rng,
         eliminate_sources=eliminate_sources,
         batch_size=batch_size,
+        visited_mode=visited_mode,
     )
     if pack_results:
         return PackedResult.encode(
@@ -332,6 +334,7 @@ class SamplerPool:
         rng=None,
         eliminate_sources: bool = False,
         batch_size: int = 16384,
+        visited_mode: Optional[str] = None,
         resilience: Optional[ResilienceOptions] = None,
         arena: "Optional[ChunkArena]" = None,
     ) -> tuple[RRRCollection, SampleTrace]:
@@ -360,6 +363,7 @@ class SamplerPool:
                 rng=rng,
                 eliminate_sources=eliminate_sources,
                 batch_size=batch_size,
+                visited_mode=visited_mode,
             )
 
         res = resilience if resilience is not None else DEFAULT_RESILIENCE
@@ -375,6 +379,7 @@ class SamplerPool:
                 children[i],
                 eliminate_sources,
                 batch_size,
+                visited_mode,
                 pack_results,
             )
             for i in range(self.n_jobs)
@@ -598,7 +603,7 @@ class SamplerPool:
         """In-process fallback for one job — bit-identical to the worker
         path, since the job's ``SeedSequence`` pins its stream and fault
         injection only ever fires inside worker processes."""
-        model, count, seed_seq, eliminate_sources, batch_size, _pack = job
+        model, count, seed_seq, eliminate_sources, batch_size, visited_mode, _pack = job
         from repro.rrr import get_sampler
 
         rng = np.random.Generator(np.random.PCG64(seed_seq))
@@ -608,6 +613,7 @@ class SamplerPool:
             rng=rng,
             eliminate_sources=eliminate_sources,
             batch_size=batch_size,
+            visited_mode=visited_mode,
         )
         return (collection.flat, collection.offsets, collection.sources, trace)
 
@@ -687,6 +693,7 @@ def sample_rrr_parallel(
     n_jobs: int = 2,
     eliminate_sources: bool = False,
     batch_size: int = 16384,
+    visited_mode: Optional[str] = None,
     pool: Optional[SamplerPool] = None,
     resilience: Optional[ResilienceOptions] = None,
     data_plane: Optional[str] = None,
@@ -715,5 +722,6 @@ def sample_rrr_parallel(
         rng=rng,
         eliminate_sources=eliminate_sources,
         batch_size=batch_size,
+        visited_mode=visited_mode,
         resilience=resilience,
     )

@@ -7,9 +7,23 @@ in-neighbor ``v`` is activated independently with probability ``p_vu``.
 The implementation runs a *batch* of independent traversals in lockstep —
 one NumPy round expands the frontiers of every unfinished set at once —
 which is the host-side mirror of the paper's one-warp-per-block kernel.
-Per-set keys ``sid * n + v`` keep visited bookkeeping in a single sorted
-array, and because that array is sid-major / vertex-ascending, the final
-flat store comes out in exactly the paper's sorted-per-set layout for free.
+
+Visited bookkeeping has two interchangeable implementations, selected by
+``visited_mode``:
+
+* ``sorted`` — per-set keys ``sid * n + v`` in a single sorted array,
+  deduped per round with ``searchsorted`` plus a linear gap-stream merge;
+  because that array is sid-major / vertex-ascending, the final flat
+  store comes out in exactly the paper's sorted-per-set layout for free.
+* ``bitset`` — a dense ``(batch x n)``-bit :class:`VisitedPlane` (the
+  host mirror of the device's visited bitmask ``M``): membership and
+  insertion are one word gather / OR-scatter per candidate, and the
+  plane decodes to the identical sorted key stream at batch end.
+
+Both paths draw from the generator in exactly the same order — every
+draw happens on the *pre-dedup* frontier expansion — so collections and
+traces are bit-identical; ``auto`` picks the bitset plane whenever it
+fits the kernel memory budget.
 """
 
 from __future__ import annotations
@@ -18,6 +32,7 @@ import numpy as np
 
 from repro import obs
 from repro.graphs.csc import DirectedGraph
+from repro.kernels import VisitedPlane, choose_visited_impl
 from repro.rrr.collection import RRRBuilder, RRRCollection
 from repro.rrr.trace import SampleTrace
 from repro.utils.errors import ValidationError
@@ -30,18 +45,32 @@ MAX_ATTEMPT_FACTOR = 64
 
 
 def _reverse_bfs_batch(
-    graph: DirectedGraph, sources: np.ndarray, gen: np.random.Generator
+    graph: DirectedGraph,
+    sources: np.ndarray,
+    gen: np.random.Generator,
+    visited_impl: str = "sorted",
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Lockstep reverse BFS for one batch of sources.
 
     Returns ``(visited_keys_sorted, sizes, rounds, edges_examined)`` where
     keys are ``sid * n + v`` and all per-set arrays have batch length.
+
+    ``visited_impl`` switches only the dedup/membership bookkeeping; the
+    frontier contents (and therefore every RNG draw) are identical under
+    both, which is what keeps the modes bit-identical.
     """
     n = graph.n
     batch = sources.size
     indptr, indices, weights = graph.indptr, graph.indices, graph.weights
     sid = np.arange(batch, dtype=np.int64)
-    visited = np.sort(sid * n + sources)
+    use_plane = visited_impl == "bitset"
+    if use_plane:
+        plane = VisitedPlane(batch, n)
+        plane.set_rowwise_unique(sid, sources)
+        visited = None
+    else:
+        plane = None
+        visited = np.sort(sid * n + sources)
     frontier_sid, frontier_v = sid, sources
     rounds = np.zeros(batch, dtype=np.int64)
     edges = np.zeros(batch, dtype=np.int64)
@@ -63,27 +92,39 @@ def _reverse_bfs_batch(
         if c_keys.size == 0:
             break
         c_keys = np.unique(c_keys)  # dedup within the round
-        pos = np.searchsorted(visited, c_keys)
-        probe = np.minimum(pos, visited.size - 1)
-        is_new = visited[probe] != c_keys
-        new_keys = c_keys[is_new]
-        if new_keys.size == 0:
-            break
-        # visited and new_keys are sorted and disjoint: scatter each new
-        # key at its insertion offset and stream the old array into the
-        # gaps — an O(|visited| + |new|) merge replacing the former
-        # O(total log total) concatenate-and-sort
-        target = pos[is_new] + np.arange(new_keys.size, dtype=np.int64)
-        merged = np.empty(visited.size + new_keys.size, dtype=np.int64)
-        merged[target] = new_keys
-        keep = np.ones(merged.size, dtype=bool)
-        keep[target] = False
-        merged[keep] = visited
-        visited = merged
-        frontier_sid = new_keys // n
-        frontier_v = new_keys % n
+        if use_plane:
+            c_sid, c_v = np.divmod(c_keys, n)
+            new_keys = c_keys[~plane.test(c_sid, c_v)]
+            if new_keys.size == 0:
+                break
+            frontier_sid, frontier_v = np.divmod(new_keys, n)
+            # ascending keys -> non-decreasing word indices for the scatter
+            plane.set_sorted_keys(frontier_sid, frontier_v)
+        else:
+            pos = np.searchsorted(visited, c_keys)
+            probe = np.minimum(pos, visited.size - 1)
+            is_new = visited[probe] != c_keys
+            new_keys = c_keys[is_new]
+            if new_keys.size == 0:
+                break
+            # visited and new_keys are sorted and disjoint: scatter each new
+            # key at its insertion offset and stream the old array into the
+            # gaps — an O(|visited| + |new|) merge replacing the former
+            # O(total log total) concatenate-and-sort
+            target = pos[is_new] + np.arange(new_keys.size, dtype=np.int64)
+            merged = np.empty(visited.size + new_keys.size, dtype=np.int64)
+            merged[target] = new_keys
+            keep = np.ones(merged.size, dtype=bool)
+            keep[target] = False
+            merged[keep] = visited
+            visited = merged
+            frontier_sid, frontier_v = np.divmod(new_keys, n)
 
-    sizes = np.bincount(visited // n, minlength=batch)
+    if use_plane:
+        visited = plane.extract_keys()
+        sizes = plane.sizes()
+    else:
+        sizes = np.bincount(visited // n, minlength=batch)
     return visited, sizes, rounds, edges
 
 
@@ -101,12 +142,25 @@ def _strip_sources(
     return stripped, sizes
 
 
+def _flatten_kept(
+    visited: np.ndarray, kept_mask: np.ndarray, n: int
+) -> np.ndarray:
+    """Per-set vertex ids of the kept sets, as the int32 flat store."""
+    if kept_mask.all():
+        return (visited % n).astype(np.int32)
+    # one divmod pass yields both the per-element set id (for the kept
+    # filter) and the vertex id (for the store)
+    set_of_elem, flat_v = np.divmod(visited, n)
+    return flat_v[kept_mask[set_of_elem]].astype(np.int32)
+
+
 def sample_rrr_ic(
     graph: DirectedGraph,
     num_sets: int,
     rng=None,
     eliminate_sources: bool = False,
     batch_size: int = 16384,
+    visited_mode: str | None = None,
 ) -> tuple[RRRCollection, SampleTrace]:
     """Sample ``num_sets`` IC RRR sets (kept sets, post source elimination).
 
@@ -115,6 +169,10 @@ def sample_rrr_ic(
     are discarded and do not count toward ``num_sets``; their traversal
     work still appears in the returned trace, which is what they cost the
     device.
+
+    ``visited_mode`` is operational only (``auto``/``sorted``/``bitset``;
+    default resolves via ``REPRO_VISITED_MODE``): every mode returns
+    bit-identical collections and traces.
     """
     if graph.weights is None:
         raise ValidationError("sample_rrr_ic requires IC edge weights")
@@ -135,9 +193,12 @@ def sample_rrr_ic(
                 f"(attempted {attempts} for {num_sets}); the graph has too "
                 "few edges for the requested sampling"
             )
+        impl = choose_visited_impl(visited_mode, batch, graph.n)
         sources = gen.integers(0, graph.n, size=batch, dtype=np.int64)
         with obs.span("rrr.batch.ic"):
-            visited, sizes, rounds, edges = _reverse_bfs_batch(graph, sources, gen)
+            visited, sizes, rounds, edges = _reverse_bfs_batch(
+                graph, sources, gen, visited_impl=impl
+            )
         attempts += batch
         raw_singletons += int(np.sum(sizes == 1))
         if obs.enabled():  # guard the argument-side sums, not just the sink
@@ -150,10 +211,7 @@ def sample_rrr_ic(
         else:
             kept_mask = np.ones(batch, dtype=bool)
         # drop discarded sets from the store but keep them in the trace
-        if not kept_mask.all():
-            set_of_elem = visited // graph.n
-            visited = visited[kept_mask[set_of_elem]]
-        flat = (visited % graph.n).astype(np.int32)
+        flat = _flatten_kept(visited, kept_mask, graph.n)
         builder.append_batch(flat, sizes[kept_mask], sources[kept_mask])
         if obs.enabled():
             kept = int(kept_mask.sum())

@@ -11,20 +11,37 @@ Vectorization: all walks advance one step per round.  Neighbor selection
 for every walk is a *single* ``np.searchsorted`` over a globally sorted
 array ``g[e] = target(e) + cum_w(e) / W(target(e))`` — each vertex's
 segment occupies ``(v, v+1]``, so querying ``u + tau/W(u)`` lands on the
-first crossing edge of ``u``'s own segment.
+first crossing edge of ``u``'s own segment.  That array depends only on
+the graph, so it is memoized per content fingerprint (store top-ups and
+k/eps sweeps build it once).
+
+Visited bookkeeping mirrors the IC sampler's ``visited_mode``: the
+``sorted`` path keeps the key array merged incrementally (the same
+gap-stream merge, since per-round new keys are already sorted and
+unique), the ``bitset`` path keeps a dense :class:`VisitedPlane`; both
+draw thresholds in the same order and are bit-identical.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
 from repro import obs
 from repro.graphs.csc import DirectedGraph
+from repro.kernels import VisitedPlane, choose_visited_impl
 from repro.rrr.collection import RRRBuilder, RRRCollection
-from repro.rrr.sampler_ic import MAX_ATTEMPT_FACTOR
+from repro.rrr.sampler_ic import MAX_ATTEMPT_FACTOR, _flatten_kept, _strip_sources
 from repro.rrr.trace import SampleTrace, empty_trace
 from repro.utils.errors import ValidationError
 from repro.utils.rng import as_generator
+
+#: memoized selection indices, keyed by graph content fingerprint; small
+#: and bounded — an index is one float64 per edge
+_INDEX_CACHE_LIMIT = 8
+_INDEX_CACHE: dict[str, np.ndarray] = {}
+_INDEX_CACHE_LOCK = threading.Lock()
 
 
 def _build_selection_index(graph: DirectedGraph) -> np.ndarray:
@@ -52,15 +69,43 @@ def _build_selection_index(graph: DirectedGraph) -> np.ndarray:
     return target + norm
 
 
+def _selection_index(graph: DirectedGraph) -> np.ndarray:
+    """Fetch (or build and cache) the graph's selection index."""
+    key = graph.fingerprint()
+    with _INDEX_CACHE_LOCK:
+        cached = _INDEX_CACHE.get(key)
+    if cached is not None:
+        obs.counter_add("rrr.lt_index.reused", 1)
+        return cached
+    index = _build_selection_index(graph)
+    with _INDEX_CACHE_LOCK:
+        if key not in _INDEX_CACHE:
+            if len(_INDEX_CACHE) >= _INDEX_CACHE_LIMIT:
+                # drop the oldest entry; sweeps touch one or two graphs
+                _INDEX_CACHE.pop(next(iter(_INDEX_CACHE)))
+            _INDEX_CACHE[key] = index
+        obs.counter_add("rrr.lt_index.built", 1)
+    return index
+
+
+def clear_selection_indices() -> None:
+    """Drop every memoized LT selection index (test/teardown hook)."""
+    with _INDEX_CACHE_LOCK:
+        _INDEX_CACHE.clear()
+
+
 def _walk_batch(
     graph: DirectedGraph,
     sources: np.ndarray,
     gen: np.random.Generator,
     selection_index: np.ndarray,
+    visited_impl: str = "sorted",
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Lockstep LT reverse walks for one batch of sources.
 
     Returns ``(visited_keys_sorted, sizes, rounds, edges_examined)``.
+    Threshold draws depend only on the set of live walks, which both
+    ``visited_impl`` choices filter identically.
     """
     n = graph.n
     batch = sources.size
@@ -70,7 +115,14 @@ def _walk_batch(
     totals = graph.total_in_weight()
 
     sid = np.arange(batch, dtype=np.int64)
-    visited = np.sort(sid * n + sources)
+    use_plane = visited_impl == "bitset"
+    if use_plane:
+        plane = VisitedPlane(batch, n)
+        plane.set_rowwise_unique(sid, sources)
+        visited = None
+    else:
+        plane = None
+        visited = np.sort(sid * n + sources)
     walk_sid, walk_v = sid, sources.copy()
     rounds = np.zeros(batch, dtype=np.int64)
     edges = np.zeros(batch, dtype=np.int64)
@@ -91,17 +143,36 @@ def _walk_batch(
         pos = np.searchsorted(selection_index, query, side="left")
         pos = np.minimum(pos, indptr[walk_v + 1] - 1)  # numeric guard at tau ~ W
         chosen = indices[pos].astype(np.int64)
-        keys = walk_sid * n + chosen
-        ins = np.searchsorted(visited, keys)
-        ins_clipped = np.minimum(ins, visited.size - 1)
-        fresh = visited[ins_clipped] != keys
+        if use_plane:
+            # walk_sid is strictly increasing and each row appears once,
+            # so the membership gather and direct OR-scatter are exact
+            fresh = ~plane.test(walk_sid, chosen)
+            plane.set_rowwise_unique(walk_sid[fresh], chosen[fresh])
+        else:
+            keys = walk_sid * n + chosen
+            ins = np.searchsorted(visited, keys)
+            ins_clipped = np.minimum(ins, visited.size - 1)
+            fresh = visited[ins_clipped] != keys
+            new_keys = keys[fresh]
+            if new_keys.size:
+                # new_keys is sorted/unique (walk sids strictly increase)
+                # and disjoint from visited: same gap-stream merge as the
+                # IC sampler instead of the old concatenate-and-sort
+                target = ins[fresh] + np.arange(new_keys.size, dtype=np.int64)
+                merged = np.empty(visited.size + new_keys.size, dtype=np.int64)
+                merged[target] = new_keys
+                keep = np.ones(merged.size, dtype=bool)
+                keep[target] = False
+                merged[keep] = visited
+                visited = merged
         # walks whose chosen vertex was already visited terminate here
-        new_keys = keys[fresh]
-        if new_keys.size:
-            visited = np.sort(np.concatenate([visited, new_keys]))
         walk_sid, walk_v = walk_sid[fresh], chosen[fresh]
 
-    sizes = np.bincount(visited // n, minlength=batch)
+    if use_plane:
+        visited = plane.extract_keys()
+        sizes = plane.sizes()
+    else:
+        sizes = np.bincount(visited // n, minlength=batch)
     return visited, sizes, rounds, edges
 
 
@@ -111,6 +182,7 @@ def sample_rrr_lt(
     rng=None,
     eliminate_sources: bool = False,
     batch_size: int = 16384,
+    visited_mode: str | None = None,
 ) -> tuple[RRRCollection, SampleTrace]:
     """Sample ``num_sets`` LT RRR sets; mirrors :func:`sample_rrr_ic`'s API."""
     if graph.weights is None:
@@ -118,13 +190,11 @@ def sample_rrr_lt(
     if num_sets < 0:
         raise ValidationError("num_sets must be non-negative")
     gen = as_generator(rng)
-    selection_index = _build_selection_index(graph)
+    selection_index = _selection_index(graph)
     builder = RRRBuilder(graph.n)
     trace_chunks: list[SampleTrace] = []
     attempts = 0
     raw_singletons = 0
-
-    from repro.rrr.sampler_ic import _strip_sources
 
     while builder.num_sets < num_sets:
         remaining = num_sets - builder.num_sets
@@ -134,10 +204,11 @@ def sample_rrr_lt(
                 "source elimination discarded nearly every set "
                 f"(attempted {attempts} for {num_sets})"
             )
+        impl = choose_visited_impl(visited_mode, batch, graph.n)
         sources = gen.integers(0, graph.n, size=batch, dtype=np.int64)
         with obs.span("rrr.batch.lt"):
             visited, sizes, rounds, edges = _walk_batch(
-                graph, sources, gen, selection_index
+                graph, sources, gen, selection_index, visited_impl=impl
             )
         attempts += batch
         raw_singletons += int(np.sum(sizes == 1))
@@ -150,10 +221,7 @@ def sample_rrr_lt(
             kept_mask = sizes > 0
         else:
             kept_mask = np.ones(batch, dtype=bool)
-        if not kept_mask.all():
-            set_of_elem = visited // graph.n
-            visited = visited[kept_mask[set_of_elem]]
-        flat = (visited % graph.n).astype(np.int32)
+        flat = _flatten_kept(visited, kept_mask, graph.n)
         builder.append_batch(flat, sizes[kept_mask], sources[kept_mask])
         if obs.enabled():
             kept = int(kept_mask.sum())

@@ -99,6 +99,7 @@ class RRRStore:
         checkpoint_dir=None,
         resilience: Optional[ResilienceOptions] = None,
         data_plane: Optional[str] = None,
+        visited_mode: Optional[str] = None,
     ):
         if graph.weights is None:
             raise ValidationError("RRRStore requires a weighted graph")
@@ -123,6 +124,10 @@ class RRRStore:
         # operational knob like checkpoint_dir — planes are
         # bit-identical, so it stays out of key()
         self.data_plane = resolve_data_plane(data_plane)
+        from repro.kernels import resolve_visited_mode
+
+        # same contract: every visited mode draws the same stream
+        self.visited_mode = resolve_visited_mode(visited_mode)
         self._arena = None  # lazy ChunkArena (shm plane, n_jobs > 1)
         if checkpoint_dir is None and resilience is not None:
             checkpoint_dir = resilience.checkpoint_dir
@@ -198,6 +203,7 @@ class RRRStore:
                 rng=rng,
                 eliminate_sources=self.eliminate_sources,
                 batch_size=self.batch_size,
+                visited_mode=self.visited_mode,
                 resilience=self.resilience,
                 arena=self._ensure_arena(),
             )
@@ -209,6 +215,7 @@ class RRRStore:
             rng=rng,
             eliminate_sources=self.eliminate_sources,
             batch_size=self.batch_size,
+            visited_mode=self.visited_mode,
         )
 
     # -- lifecycle -----------------------------------------------------------
@@ -373,6 +380,7 @@ def shared_store(
     checkpoint_dir=None,
     resilience: Optional[ResilienceOptions] = None,
     data_plane: Optional[str] = None,
+    visited_mode: Optional[str] = None,
 ) -> RRRStore:
     """The process-wide :class:`RRRStore` for this stream identity.
 
@@ -380,8 +388,9 @@ def shared_store(
     return the same store, which is what turns the sweep's sampling cost
     from O(Σθᵢ) into O(max θᵢ).
 
-    ``checkpoint_dir`` / ``resilience`` / ``data_plane`` are operational
-    knobs, not part of the stream identity: a cache hit keeps the first
+    ``checkpoint_dir`` / ``resilience`` / ``data_plane`` /
+    ``visited_mode`` are operational knobs, not part of the stream
+    identity: a cache hit keeps the first
     store's configuration (the planes produce bit-identical sets, so the
     stream is the same either way).  A cached store whose explicit pool
     has since been closed is healed on lookup (its pool reference is
@@ -419,6 +428,7 @@ def shared_store(
             checkpoint_dir=checkpoint_dir,
             resilience=resilience,
             data_plane=data_plane,
+            visited_mode=visited_mode,
         )
         assert store.key() == key
         _STORES[key] = store
