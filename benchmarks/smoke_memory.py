@@ -1,0 +1,216 @@
+"""Memory-governor smoke benchmark — writes ``BENCH_pr10_memory.json``.
+
+CI-sized end-to-end check of PR 10's tiered RRR storage and
+pressure-aware serving, three gates:
+
+* **bit-identical seeds at every budget** — the same ``run_imm``
+  workload unbounded, at a *tight* budget (half the unbounded peak),
+  and at a *tiny* budget (an eighth) returns identical seed sets and
+  theta; only wall-clock and residency may differ, and no
+  ``MemoryError`` surfaces at any budget;
+* **the tight run actually tiers** — its peak accounted residency is
+  **<= 50 %** of the unbounded peak and it completed via demotion
+  (``memory.demotions > 0``), not by luck;
+* **a budgeted service storm stays up** — a concurrent mixed-stream
+  storm against a small-budget service resolves every query (served,
+  degraded, or cleanly shed with ``ServiceOverloadedError``), with
+  zero host OOMs and zero leaked shared-memory segments afterwards.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/smoke_memory.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.imm.imm import run_imm
+from repro.imm.options import IMMOptions
+from repro.memory.budget import budget_scope, governor, reset_governor
+from repro.rrr.store import clear_stores
+from repro.service import InfluenceQuery, InfluenceService, ServiceOptions
+from repro.shm.segments import REGISTRY
+from repro.utils.errors import ServiceError, ServiceOverloadedError
+
+DATASET = "WV"
+K, EPSILON = 8, 0.25
+CHUNK_SETS = 64  # small chunks so a tiny budget has something to demote
+OPTIONS = IMMOptions(model="IC")
+#: the storm: k-variants across two stream identities (entropy differs)
+STORM = [(entropy, k) for entropy in (0, 1) for k in (2, 4, 6, 8)] * 2
+
+
+def _graph():
+    config = ExperimentConfig.from_env(scale="tiny", datasets=(DATASET,),
+                                       seed=11)
+    return config.graph(DATASET, "IC")
+
+
+def run_at_budget(graph, budget) -> dict:
+    """One full run at ``budget`` bytes (None = unbounded), on a fresh
+    governor so peaks and demotion counts are the run's own."""
+    clear_stores()
+    reset_governor()
+    from repro.rrr.store import RRRStore
+
+    store = RRRStore(graph, model=OPTIONS.model, chunk_sets=CHUNK_SETS)
+    start = time.perf_counter()
+    oom = False
+    try:
+        with budget_scope(budget):
+            result = run_imm(graph, K, EPSILON, rng=3, options=OPTIONS,
+                             store=store)
+            snap = governor().snapshot()
+    except MemoryError:
+        result, snap, oom = None, governor().snapshot(), True
+    seconds = time.perf_counter() - start
+    store.close()
+    return {
+        "budget_bytes": budget,
+        "seconds": round(seconds, 4),
+        "oom": oom,
+        "seeds": None if result is None else result.seeds.tolist(),
+        "theta": None if result is None else int(result.theta),
+        "peak_charged_bytes": int(snap["peak_charged_bytes"]),
+        "demotions": int(snap["demotions"]),
+        "promotions": int(snap["promotions"]),
+        "spilled_bytes": int(snap["spilled_bytes"]),
+    }
+
+
+def run_service_storm(graph, budget_mb: float) -> dict:
+    """A mixed-stream storm against a deliberately small service."""
+    clear_stores()
+    reset_governor()
+    service = InfluenceService(
+        ServiceOptions(max_inflight=4, max_queue_depth=4,
+                       chunk_sets=CHUNK_SETS, exact_cache_size=4,
+                       max_substrates=2, memory_budget_mb=budget_mb)
+    )
+    service.register_graph("g", graph)
+    outcomes = {"served": 0, "degraded": 0, "shed": 0, "failed": 0}
+    host_ooms = 0
+    try:
+        def one(cell):
+            entropy, k = cell
+            query = InfluenceQuery("g", k=k, epsilon=EPSILON,
+                                   entropy=entropy, options=OPTIONS)
+            try:
+                outcome = service.query(query)
+            except ServiceOverloadedError:
+                return "shed"
+            except MemoryError:
+                return "oom"
+            except ServiceError:
+                return "failed"
+            return "degraded" if outcome.degraded else "served"
+
+        with ThreadPoolExecutor(max_workers=8) as clients:
+            for verdict in clients.map(one, STORM):
+                if verdict == "oom":
+                    host_ooms += 1
+                else:
+                    outcomes[verdict] += 1
+        health = service.health()
+    finally:
+        service.close()
+    clear_stores()
+    return {
+        "budget_mb": budget_mb,
+        "queries": len(STORM),
+        "outcomes": outcomes,
+        "host_ooms": host_ooms,
+        "memory_pressure_events": int(
+            health["counters"].get("service.memory_pressure", 0)
+        ),
+        "memory_evictions": int(
+            health["counters"].get("service.memory_evictions", 0)
+        ),
+        "oom_tier_counters": {
+            name: count for name, count in health["counters"].items()
+            if name.startswith("service.oom_tier.")
+        },
+        "leaked_segments": int(REGISTRY.active_count),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent
+                    / "BENCH_pr10_memory.json"),
+        help="output JSON path (default: <repo root>/BENCH_pr10_memory.json)",
+    )
+    args = parser.parse_args(argv)
+
+    graph = _graph()
+    unbounded = run_at_budget(graph, None)
+    tight_budget = max(unbounded["peak_charged_bytes"] // 2, 4096)
+    tiny_budget = max(unbounded["peak_charged_bytes"] // 8, 4096)
+    tight = run_at_budget(graph, tight_budget)
+    tiny = run_at_budget(graph, tiny_budget)
+    storm = run_service_storm(graph, budget_mb=1.0)
+
+    report = {
+        "benchmark": "pr10_memory",
+        "dataset": DATASET,
+        "k": K,
+        "epsilon": EPSILON,
+        "chunk_sets": CHUNK_SETS,
+        "unbounded": unbounded,
+        "tight": tight,
+        "tiny": tiny,
+        "residency_ratio_tight": round(
+            tight["peak_charged_bytes"]
+            / max(unbounded["peak_charged_bytes"], 1), 3),
+        "service_storm": storm,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n",
+                              encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    print(f"[written to {args.out}]")
+
+    failures = []
+    for name, run in (("tight", tight), ("tiny", tiny)):
+        if run["oom"]:
+            failures.append(f"{name} budget OOMed instead of demoting")
+        elif run["seeds"] != unbounded["seeds"] or \
+                run["theta"] != unbounded["theta"]:
+            failures.append(f"{name}-budget seeds/theta diverged "
+                            f"from unbounded")
+    if unbounded["oom"]:
+        failures.append("unbounded run OOMed")
+    if tight["peak_charged_bytes"] > unbounded["peak_charged_bytes"] // 2:
+        failures.append(
+            f"tight peak {tight['peak_charged_bytes']} > 50% of "
+            f"unbounded peak {unbounded['peak_charged_bytes']}")
+    if tight["demotions"] == 0:
+        failures.append("tight run never demoted — budget had no effect")
+    if storm["host_ooms"]:
+        failures.append(f"service storm hit {storm['host_ooms']} host OOMs")
+    if storm["leaked_segments"]:
+        failures.append(
+            f"{storm['leaked_segments']} shm segments leaked after close")
+    resolved = sum(storm["outcomes"].values())
+    if resolved != storm["queries"]:
+        failures.append(f"storm resolved {resolved}/{storm['queries']}")
+    if storm["outcomes"]["failed"]:
+        failures.append(
+            f"{storm['outcomes']['failed']} storm queries failed outright")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

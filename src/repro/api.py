@@ -26,6 +26,14 @@ The surface, by layer:
   same ``Engine.run(graph, k, epsilon, options=IMMOptions(...))``
   contract;
 * **data** — graph loading, generation, and weighting.
+
+Operational control (memory budgets, data planes, kernel modes,
+resilience) rides on the option bundles rather than on extra entry
+points: ``IMMOptions(memory_budget_mb=, data_plane=, visited_mode=,
+coverage_scan=, resilience=)`` and ``ServiceOptions(memory_budget_mb=,
+shed_on_memory_pressure=, ...)`` — every knob, env var, and CLI flag is
+tabulated in ``docs/configuration.md``.  All operational knobs share
+one contract: results are bit-identical across their settings.
 """
 
 import repro.encoding  # noqa: F401 — break the encoding<->rrr import cycle

@@ -114,6 +114,14 @@ def _workload_parent(
                              "log-encoded; 'pickle' is the classic path "
                              "(default: REPRO_DATA_PLANE, else shm where "
                              "available; output is bit-identical either way)")
+    parent.add_argument("--memory-budget-mb", type=float, default=None,
+                        metavar="MB",
+                        help="process memory budget in MiB: RRR chunks "
+                             "demote to compressed/spilled tiers and dense "
+                             "kernel planes fall back to sparse paths rather "
+                             "than exceed it; seeds are bit-identical at "
+                             "every budget (default: REPRO_MEMORY_BUDGET_MB, "
+                             "else unbounded)")
     parent.add_argument("--profile", action="store_true",
                         help="print a per-phase timing/metrics table for the run")
     return parent
@@ -196,6 +204,14 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="on SIGTERM, wait this long for admitted "
                             "queries to finish before closing")
+    serve.add_argument("--memory-budget-mb", type=float, default=None,
+                       metavar="MB",
+                       help="process memory budget in MiB; under pressure "
+                            "substrate chunks demote to compressed/spilled "
+                            "tiers, and overcommitted admissions are served "
+                            "degraded or shed instead of risking a host OOM "
+                            "(default: REPRO_MEMORY_BUDGET_MB, else "
+                            "unbounded)")
     serve.add_argument("--health", action="store_true",
                        help="client mode: ask the server at --host:--port "
                             "for its health snapshot, print it, exit")
@@ -252,6 +268,7 @@ def _cmd_seeds(args) -> int:
             data_plane=args.data_plane,
             visited_mode=args.visited_mode,
             coverage_scan=args.coverage_scan,
+            memory_budget_mb=args.memory_budget_mb,
         ),
         store=store,
     )
@@ -282,6 +299,12 @@ def _cmd_seeds(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    if args.memory_budget_mb is not None:
+        # compare drives many runs through ExperimentConfig; pin the
+        # budget process-wide instead of threading it through each one
+        from repro.memory.budget import governor
+
+        governor().set_budget(int(args.memory_budget_mb * 1024 * 1024))
     cfg = ExperimentConfig.from_env(
         scale=args.scale, seed=args.seed,
         theta_scale=args.theta_scale, sweep_theta_scale=args.theta_scale,
@@ -343,6 +366,7 @@ def _cmd_serve(args) -> int:
         chunk_sets=args.chunk_sets,
         checkpoint_dir=args.checkpoint_dir,
         default_deadline=args.deadline,
+        memory_budget_mb=args.memory_budget_mb,
     )
     with InfluenceService(options) as service:
         if args.stdin:

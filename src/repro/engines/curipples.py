@@ -26,7 +26,12 @@ OFFLOAD_BATCH_BYTES = 16 * 2**20
 
 
 class CuRipplesEngine(Engine):
-    """cuRipples: host-offloaded RRR store, GPU+CPU split selection."""
+    """cuRipples: host-offloaded RRR store, GPU+CPU split selection.
+
+    The CUDA port of Ripples the paper benchmarks against: the RRR
+    store lives in host memory (PCIe transfers charged by the cost
+    model) and seed selection splits between device and host.
+    """
 
     name = "curipples"
     eliminate_sources = False

@@ -27,7 +27,15 @@ from repro.imm.imm import IMMResult
 
 
 class EIMEngine(Engine):
-    """eIM with per-optimization toggles (all on by default)."""
+    """eIM with per-optimization toggles (all on by default).
+
+    The paper's engine: log encoding of graph and RRR store,
+    global-memory BFS queues, source-vertex elimination, and
+    thread-based selection scanning — each independently toggleable
+    (``EIMEngine(log_encoding=False, ...)``), which is the ablation
+    axis of the evaluation.  ``run(graph, k, epsilon,
+    options=IMMOptions(...))`` like every engine.
+    """
 
     name = "eim"
 

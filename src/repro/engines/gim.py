@@ -30,7 +30,12 @@ FRAGMENTATION_FACTOR = 0.5
 
 
 class GIMEngine(Engine):
-    """gIM: shared-memory queues, raw storage, warp-based selection."""
+    """gIM: shared-memory queues, raw storage, warp-based selection.
+
+    The closest prior GPU IMM system and the paper's primary baseline;
+    identical sampling semantics to vanilla IMM, so ``compare_engines``
+    shares one run between gIM and cuRipples.
+    """
 
     name = "gim"
     eliminate_sources = False

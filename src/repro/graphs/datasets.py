@@ -136,5 +136,13 @@ def get_dataset(code: str) -> DatasetSpec:
 
 
 def load_dataset(code: str, scale: str = "tiny", rng=None) -> DirectedGraph:
-    """Generate the synthetic stand-in for dataset ``code`` at ``scale``."""
+    """Generate the synthetic stand-in for dataset ``code`` at ``scale``.
+
+    ``code`` is one of the Table 1 registry codes (see :data:`DATASETS`
+    or ``python -m repro datasets``); ``scale`` is ``"tiny"`` /
+    ``"small"`` / ``"paper"``.  The result is unweighted — pass it
+    through :func:`~repro.graphs.weights.assign_ic_weights` or
+    :func:`~repro.graphs.weights.assign_lt_weights` before running IMM.
+    Generation is deterministic for a fixed ``rng``.
+    """
     return get_dataset(code).generate(scale=scale, rng=rng)

@@ -192,10 +192,28 @@ class CoverageIndex:
             raise ValidationError(
                 f"index over n={self.n} cannot take a collection with n={collection.n}"
             )
-        if self._membership is None:
-            self._membership = MembershipPlane(self.n)
-        extend_membership(self._membership, collection)
-        return self._membership
+        # bind a local: a pressure handler may clear the cache slot
+        # mid-extend, and the caller must still get the plane it asked for
+        plane = self._membership
+        if plane is None:
+            plane = self._membership = MembershipPlane(self.n)
+        extend_membership(plane, collection)
+        return plane
+
+    def drop_membership(self) -> int:
+        """Drop the cached membership plane; returns its accounted bytes.
+
+        The plane is pure cache — the next word-parallel scan rebuilds
+        it from the collection bit-identically, or selection falls back
+        to the CSR scan if the budget no longer admits it.  A scan
+        concurrently holding the plane keeps it alive (and charged)
+        until it finishes; only the cache slot is cleared here.
+        """
+        plane = self._membership
+        if plane is None:
+            return 0
+        self._membership = None
+        return int(plane.nbytes)
 
     # -- maintenance ---------------------------------------------------------
     def _compact(self) -> None:

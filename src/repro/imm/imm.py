@@ -50,7 +50,33 @@ class PhaseStat:
 
 @dataclass
 class IMMResult:
-    """Everything :func:`run_imm` produced, for inspection and cost models."""
+    """Everything :func:`run_imm` produced, for inspection and cost models.
+
+    Attributes
+    ----------
+    seeds:
+        The selected seed vertices (always distinct), in selection order.
+    selection:
+        Per-iteration greedy statistics (coverage history, scan work).
+    collection:
+        The RRR-set sample selection ran on (a prefix view of the
+        producing stream).
+    trace:
+        Per-set sampling work (traversal rounds, edges examined,
+        kept/discarded attempts, resilience tally).
+    theta:
+        The final martingale sample size.
+    lower_bound:
+        The influence lower bound that terminated estimation.
+    k / epsilon / model / eliminate_sources:
+        The run's request, echoed back.
+    phases:
+        One :class:`PhaseStat` per estimation phase.
+    profile:
+        The :mod:`repro.obs` report when ``options.profile`` was set.
+    options:
+        The :class:`~repro.imm.options.IMMOptions` the run used.
+    """
 
     seeds: np.ndarray
     selection: SelectionResult
@@ -196,12 +222,26 @@ def run_imm(
     handle = None
     if options.profile and not obs.enabled():
         handle = obs.install()
+    # a per-run memory budget pins the process governor for the run's
+    # duration (tiering is process-global state); ExitStack keeps the
+    # no-budget path allocation-free
+    from contextlib import ExitStack
+
+    from repro.memory.budget import budget_scope
+
     try:
-        with obs.span("imm.run"):
-            result = _run_imm_core(graph, k, epsilon, rng, options, pool, store)
-        if options.profile:
-            result.profile = obs.report()
-        return result
+        with ExitStack() as stack:
+            if options.memory_budget_mb is not None:
+                stack.enter_context(
+                    budget_scope(int(options.memory_budget_mb * 1024 * 1024))
+                )
+            with obs.span("imm.run"):
+                result = _run_imm_core(
+                    graph, k, epsilon, rng, options, pool, store
+                )
+            if options.profile:
+                result.profile = obs.report()
+            return result
     finally:
         if handle is not None:
             obs.uninstall()

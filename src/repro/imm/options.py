@@ -76,6 +76,15 @@ class IMMOptions:
         membership plane), or ``"auto"`` (budget-gated).  ``None``
         defers to ``REPRO_COVERAGE_SCAN``, then ``"auto"``.  Seeds and
         statistics are bit-identical across scans.
+    memory_budget_mb:
+        Process memory budget in MiB, pinned on the shared governor
+        (:mod:`repro.memory.budget`) for the duration of the run: RRR
+        chunks demote to compressed / spilled tiers and dense kernel
+        planes fall back to sparse paths rather than exceed it.  Seeds
+        are bit-identical at every budget — only wall-clock and
+        residency change.  ``None`` defers to
+        ``REPRO_MEMORY_BUDGET_MB`` (then the legacy
+        ``REPRO_KERNEL_BUDGET_MB``), else unbounded.
     """
 
     model: str = "IC"
@@ -89,6 +98,7 @@ class IMMOptions:
     data_plane: str | None = None
     visited_mode: str | None = None
     coverage_scan: str | None = None
+    memory_budget_mb: float | None = None
 
     def __post_init__(self):
         object.__setattr__(self, "model", str(self.model).upper())
@@ -131,6 +141,8 @@ class IMMOptions:
             object.__setattr__(
                 self, "coverage_scan", resolve_coverage_scan(self.coverage_scan)
             )
+        if self.memory_budget_mb is not None and not self.memory_budget_mb > 0:
+            raise ValidationError("memory_budget_mb must be positive or None")
 
     def replace(self, **changes) -> "IMMOptions":
         """A copy with ``changes`` applied (frozen-dataclass convenience)."""

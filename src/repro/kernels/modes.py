@@ -16,6 +16,7 @@ from typing import Optional
 
 from repro import obs
 from repro.kernels.bitset import words_for_bits
+from repro.memory.budget import env_budget_bytes, governor
 from repro.utils.errors import ValidationError
 
 #: how the samplers keep per-traversal visited state
@@ -25,6 +26,8 @@ COVERAGE_SCANS = ("auto", "csr", "bitset")
 
 ENV_VISITED_MODE = "REPRO_VISITED_MODE"
 ENV_COVERAGE_SCAN = "REPRO_COVERAGE_SCAN"
+#: legacy name; both it and REPRO_MEMORY_BUDGET_MB now feed the shared
+#: governor (see :mod:`repro.memory.budget`)
 ENV_BUDGET_MB = "REPRO_KERNEL_BUDGET_MB"
 
 #: default ceiling for any single dense bit plane (visited plane or
@@ -33,19 +36,35 @@ DEFAULT_PLANE_BUDGET_BYTES = 64 * 1024 * 1024
 
 
 def plane_budget_bytes() -> int:
-    """The dense-plane byte budget (``REPRO_KERNEL_BUDGET_MB`` override)."""
-    raw = os.environ.get(ENV_BUDGET_MB)
-    if raw is None or not str(raw).strip():
-        return DEFAULT_PLANE_BUDGET_BYTES
-    try:
-        budget = int(float(str(raw).strip()) * 1024 * 1024)
-    except ValueError:
-        raise ValidationError(
-            f"{ENV_BUDGET_MB} must be a number of MiB, got {raw!r}"
-        ) from None
-    if budget <= 0:
-        raise ValidationError(f"{ENV_BUDGET_MB} must be positive, got {raw!r}")
-    return budget
+    """The dense-plane byte budget.
+
+    The process memory budget (``IMMOptions(memory_budget_mb=)`` /
+    ``REPRO_MEMORY_BUDGET_MB`` / legacy ``REPRO_KERNEL_BUDGET_MB``) when
+    one is set, else a conservative per-plane default — a process that
+    never configured a budget still refuses pathological dense planes.
+    """
+    budget = governor().budget_bytes
+    if budget is None:
+        budget = env_budget_bytes()
+    return DEFAULT_PLANE_BUDGET_BYTES if budget is None else budget
+
+
+def _plane_fits(plane_bytes: int) -> bool:
+    """Whether one dense plane fits both the per-plane ceiling and the
+    governor's *remaining* headroom.
+
+    The headroom check is what ties the kernels into the shared
+    accountant: a plane that fits an empty budget may not fit next to a
+    resident RRR store, and ``request`` gives the tiering a chance to
+    demote chunks before the sparse fallback is taken.
+    """
+    plane_bytes = int(plane_bytes)
+    if plane_bytes > plane_budget_bytes():
+        return False
+    gov = governor()
+    if gov.would_fit(plane_bytes):
+        return True
+    return gov.request(plane_bytes)
 
 
 def resolve_visited_mode(value: Optional[str] = None) -> str:
@@ -88,7 +107,7 @@ def choose_visited_impl(mode: str, batch: int, n: int) -> str:
     if mode != "auto":
         return mode
     plane_bytes = int(batch) * words_for_bits(n) * 8
-    if plane_bytes <= plane_budget_bytes():
+    if _plane_fits(plane_bytes):
         return "bitset"
     obs.counter_add("kernels.bitset.fallbacks", 1)
     return "sorted"
@@ -104,7 +123,7 @@ def choose_scan_impl(scan: str, n: int, num_sets: int) -> str:
     if scan != "auto":
         return scan
     plane_bytes = int(n) * words_for_bits(num_sets) * 8
-    if plane_bytes <= plane_budget_bytes():
+    if _plane_fits(plane_bytes):
         return "bitset"
     obs.counter_add("kernels.bitset.fallbacks", 1)
     return "csr"

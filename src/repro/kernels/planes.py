@@ -20,6 +20,8 @@ Both planes account their footprint and word traffic to
 
 from __future__ import annotations
 
+import weakref
+
 import numpy as np
 
 from repro import obs
@@ -32,12 +34,45 @@ from repro.kernels.bitset import (
     split_index,
     words_for_bits,
 )
+from repro.memory.budget import governor
 from repro.utils.errors import ValidationError
 
 #: cap on the transient ``unpackbits`` expansion during plane
 #: extraction: rows decode in tiles of at most this many plane words
 #: (64 flag bytes per word), keeping the scratch under ~16 MiB
 EXTRACT_TILE_WORDS = 1 << 18
+
+#: the governor account dense planes report under
+ACCOUNT = "kernels.planes"
+
+
+class _PlaneCharge:
+    """Governor accounting for one plane's resident bytes.
+
+    Planes have no ``close()`` — a visited plane lives for one sampler
+    batch, a membership plane for a store's lifetime — so the credit is
+    tied to garbage collection via ``weakref.finalize`` on the owner.
+    The governor instance is captured at creation: after a test's
+    ``reset_governor`` the release still balances the ledger it charged.
+    """
+
+    __slots__ = ("_gov", "_nbytes")
+
+    def __init__(self):
+        self._gov = governor()
+        self._nbytes = 0
+
+    def resize(self, nbytes: int) -> None:
+        delta = int(nbytes) - self._nbytes
+        if delta > 0:
+            self._gov.request(delta)
+        self._nbytes = int(nbytes)
+        self._gov.account(ACCOUNT, "resident", delta)
+
+    def release(self) -> None:
+        if self._nbytes:
+            self._gov.account(ACCOUNT, "resident", -self._nbytes)
+            self._nbytes = 0
 
 
 class VisitedPlane:
@@ -48,7 +83,10 @@ class VisitedPlane:
     vertex)`` arrays.
     """
 
-    __slots__ = ("batch", "n", "words_per_row", "_plane", "_flat")
+    __slots__ = (
+        "batch", "n", "words_per_row", "_plane", "_flat", "_charge",
+        "__weakref__",
+    )
 
     def __init__(self, batch: int, n: int):
         if batch < 0 or n < 1:
@@ -58,6 +96,9 @@ class VisitedPlane:
         self.words_per_row = words_for_bits(n)
         self._plane = np.zeros((self.batch, self.words_per_row), dtype=np.uint64)
         self._flat = self._plane.reshape(-1)
+        self._charge = _PlaneCharge()
+        self._charge.resize(self._plane.nbytes)
+        weakref.finalize(self, self._charge.release)
         obs.gauge_max("kernels.bitset.plane_bytes", int(self._plane.nbytes))
 
     @property
@@ -139,7 +180,10 @@ class MembershipPlane:
     serve every theta prefix of a warm-start sweep.
     """
 
-    __slots__ = ("n", "num_sets", "num_elements", "_words_cap", "_plane")
+    __slots__ = (
+        "n", "num_sets", "num_elements", "_words_cap", "_plane", "_charge",
+        "__weakref__",
+    )
 
     def __init__(self, n: int):
         if n < 1:
@@ -149,6 +193,9 @@ class MembershipPlane:
         self.num_elements = 0
         self._words_cap = 1
         self._plane = np.zeros((self.n, 1), dtype=np.uint64)
+        self._charge = _PlaneCharge()
+        self._charge.resize(self._plane.nbytes)
+        weakref.finalize(self, self._charge.release)
 
     @property
     def nbytes(self) -> int:
@@ -165,6 +212,7 @@ class MembershipPlane:
         wider[:, : self._words_cap] = self._plane
         self._plane = wider
         self._words_cap = cap
+        self._charge.resize(self._plane.nbytes)
         obs.gauge_max("kernels.membership.plane_bytes", int(self._plane.nbytes))
 
     def extend(

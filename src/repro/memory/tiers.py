@@ -1,0 +1,308 @@
+"""Tiered storage for warm-start RRR chunks (hot / compressed / spilled).
+
+The warm-start :class:`~repro.rrr.store.RRRStore` keeps every chunk it
+ever sampled — that is the whole point of the store — which makes its
+chunk list the library's largest unbounded byte-holder.  Tiering keeps
+the *stream* (chunks stay pure functions of ``(key, j)``) while letting
+the *representation* move down a cost ladder under memory pressure:
+
+``hot``
+    Plain arrays — private heap or a shared-memory
+    :class:`~repro.shm.arena.ChunkArena` segment.  Zero-cost to read.
+``compressed``
+    Every column bitpacked in RAM via :mod:`repro.encoding.bitpack`
+    (the paper's log encoding): ``flat`` at ``bit_length(max vertex)``
+    bits, ``offsets`` delta-encoded to sizes first, trace columns
+    likewise, ``kept_mask`` at one bit per attempt.  Decode-on-touch,
+    and the round-trip is bit-identical by construction — the unpack
+    of a pack is the original array.
+``spilled``
+    The chunk's arrays live only on disk, in exactly the atomic-npz
+    format of :mod:`repro.resilience.checkpoint` (a spilled chunk *is*
+    a chunk checkpoint).  Stores that already checkpoint spill for
+    free: the bytes are on disk before pressure ever asks.
+
+Demotions and promotions are reported to the process governor
+(:func:`repro.memory.budget.governor`) so ``memory.{resident,
+compressed,spilled}_bytes`` and ``memory.{demotions,promotions}``
+always reflect where the stream physically lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.encoding.bitpack import PackedArray, pack
+from repro.memory.budget import governor
+from repro.rrr.collection import RRRCollection
+from repro.rrr.trace import SampleTrace
+from repro.utils.errors import ValidationError
+
+HOT, COMPRESSED, SPILLED = "hot", "compressed", "spilled"
+
+#: the governor account tiered chunks report under
+ACCOUNT = "rrr.chunks"
+
+
+def _pack64(values: np.ndarray) -> PackedArray:
+    """Bitpack a non-negative integer column into 64-bit containers."""
+    return pack(np.asarray(values, dtype=np.int64), container_bits=64)
+
+
+def chunk_nbytes(collection: RRRCollection, trace: SampleTrace) -> int:
+    """Hot bytes of one chunk: collection arrays plus trace columns."""
+    total = collection.flat.nbytes + collection.offsets.nbytes
+    total += collection.counts.nbytes
+    if collection.sources is not None:
+        total += collection.sources.nbytes
+    total += trace.sizes.nbytes + trace.rounds.nbytes
+    total += trace.edges_examined.nbytes + trace.kept_mask.nbytes
+    total += trace.sources.nbytes
+    return int(total)
+
+
+@dataclass
+class CompressedChunk:
+    """One chunk's columns, bitpacked in RAM (decode restores them
+    bit for bit)."""
+
+    n: int
+    num_sets: int
+    flat: PackedArray
+    sizes: PackedArray  # delta-encoded offsets
+    sources: Optional[PackedArray]
+    trace_sizes: PackedArray
+    trace_rounds: PackedArray
+    trace_edges: PackedArray
+    trace_kept: PackedArray  # 1 bit per attempted set
+    trace_sources: PackedArray
+    raw_singletons: int
+    resilience: object
+
+    @property
+    def nbytes(self) -> int:
+        cols = [
+            self.flat, self.sizes, self.trace_sizes, self.trace_rounds,
+            self.trace_edges, self.trace_kept, self.trace_sources,
+        ]
+        if self.sources is not None:
+            cols.append(self.sources)
+        return sum(c.nbytes_packed for c in cols)
+
+    @classmethod
+    def encode(
+        cls, collection: RRRCollection, trace: SampleTrace
+    ) -> "CompressedChunk":
+        return cls(
+            n=collection.n,
+            num_sets=collection.num_sets,
+            flat=_pack64(collection.flat),
+            sizes=_pack64(np.diff(collection.offsets)),
+            sources=(
+                None if collection.sources is None
+                else _pack64(collection.sources)
+            ),
+            trace_sizes=_pack64(trace.sizes),
+            trace_rounds=_pack64(trace.rounds),
+            trace_edges=_pack64(trace.edges_examined),
+            trace_kept=pack(
+                trace.kept_mask.astype(np.int64), n_bits=1, container_bits=64
+            ),
+            trace_sources=_pack64(trace.sources),
+            raw_singletons=int(trace.raw_singletons),
+            resilience=trace.resilience,
+        )
+
+    def decode(self) -> tuple[RRRCollection, SampleTrace]:
+        sizes = self.sizes.unpack()
+        offsets = np.zeros(sizes.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        collection = RRRCollection(
+            self.flat.unpack().astype(np.int32),
+            offsets,
+            self.n,
+            sources=(
+                None if self.sources is None
+                else self.sources.unpack()
+            ),
+            check=False,
+        )
+        trace = SampleTrace(
+            sizes=self.trace_sizes.unpack(),
+            rounds=self.trace_rounds.unpack(),
+            edges_examined=self.trace_edges.unpack(),
+            kept_mask=self.trace_kept.unpack().astype(bool),
+            raw_singletons=self.raw_singletons,
+            sources=self.trace_sources.unpack(),
+            resilience=self.resilience,
+        )
+        return collection, trace
+
+
+class TieredChunk:
+    """One RRR chunk whose representation migrates across tiers.
+
+    ``touch`` stamps an LRU clock the owning store uses to demote cold
+    chunks first; reads either *promote* (the decoded arrays become the
+    hot representation again) or stay *transient* (decode, hand out,
+    keep the cheap tier) — a full-store materialization under a tight
+    budget streams transient decodes so residency never spikes to the
+    hot footprint.
+    """
+
+    _clock = 0  # class-wide LRU tick; ints are atomic enough under the GIL
+
+    def __init__(
+        self,
+        index: int,
+        collection: RRRCollection,
+        trace: SampleTrace,
+        spill_path: Optional[Path] = None,
+        arena_release: Optional[Callable[[RRRCollection], int]] = None,
+        on_disk: bool = False,
+    ):
+        self.index = int(index)
+        self.state = HOT
+        self.n = int(collection.n)
+        self.num_sets = collection.num_sets
+        self.nbytes_hot = chunk_nbytes(collection, trace)
+        self._hot: Optional[tuple[RRRCollection, SampleTrace]] = (
+            collection, trace
+        )
+        self._compressed: Optional[CompressedChunk] = None
+        self._spill_path = spill_path
+        self._on_disk = bool(on_disk)  # already checkpointed => free spill
+        self._spilled_nbytes = 0
+        # arena-backed hot chunks are accounted by the arena itself;
+        # heap-backed ones land on the chunk account here
+        self._arena_release = arena_release
+        self._hot_accounted = 0 if arena_release is not None else self.nbytes_hot
+        if self._hot_accounted:
+            governor().account(ACCOUNT, "resident", self._hot_accounted)
+        self.touch()
+
+    # -- LRU -----------------------------------------------------------------
+    def touch(self) -> None:
+        TieredChunk._clock += 1
+        self.last_touch = TieredChunk._clock
+
+    # -- reads ---------------------------------------------------------------
+    def get(self, promote: bool = True) -> tuple[RRRCollection, SampleTrace]:
+        """The chunk's arrays, decoding/loading as needed.
+
+        ``promote=True`` re-caches the decoded arrays as the hot tier
+        (and accounts the move); ``promote=False`` is a streaming read
+        that leaves the chunk wherever it lives.
+        """
+        self.touch()
+        if self._hot is not None:
+            return self._hot
+        value = self._decode()
+        governor().note_promotion()
+        if promote:
+            self._drop_cheap_tiers()
+            self._hot = value
+            self._hot_accounted = self.nbytes_hot
+            governor().account(ACCOUNT, "resident", self._hot_accounted)
+            self.state = HOT
+        return value
+
+    def _decode(self) -> tuple[RRRCollection, SampleTrace]:
+        if self._compressed is not None:
+            return self._compressed.decode()
+        if self._spill_path is None or not self._spill_path.exists():
+            raise ValidationError(
+                f"tiered chunk {self.index} has no surviving representation"
+            )
+        from repro.resilience.checkpoint import _load_chunk
+
+        return _load_chunk(self._spill_path, self.n)
+
+    # -- demotion ------------------------------------------------------------
+    def demote(self) -> int:
+        """Move one tier down; returns the RAM bytes this freed.
+
+        ``hot -> compressed`` packs the columns and releases the hot
+        arrays (unlinking the arena segment when the chunk lived in
+        one); ``compressed -> spilled`` writes the checkpoint-format
+        npz (skipped when the store already checkpointed this chunk)
+        and drops the packed columns.  Spilled chunks have nothing
+        left to shed.
+        """
+        if self.state == HOT and self._hot is not None:
+            collection, trace = self._hot
+            self._compressed = CompressedChunk.encode(collection, trace)
+            packed_bytes = self._compressed.nbytes
+            governor().account(ACCOUNT, "compressed", packed_bytes)
+            freed = self.nbytes_hot
+            self._hot = None
+            if self._hot_accounted:
+                governor().account(ACCOUNT, "resident", -self._hot_accounted)
+                self._hot_accounted = 0
+            if self._arena_release is not None:
+                self._arena_release(collection)
+                self._arena_release = None
+            self.state = COMPRESSED
+            governor().note_demotion()
+            return max(0, freed - packed_bytes)
+        if self.state == COMPRESSED and self._compressed is not None:
+            if self._spill_path is None:
+                return 0  # nowhere to spill; stay compressed
+            if not self._on_disk:
+                collection, trace = self._compressed.decode()
+                from repro.resilience.checkpoint import save_chunk
+
+                save_chunk(
+                    self._spill_path.parent, self.index, collection, trace
+                )
+                self._on_disk = True
+            freed = self._compressed.nbytes
+            self._spilled_nbytes = self.nbytes_hot
+            governor().account(ACCOUNT, "compressed", -freed)
+            governor().account(ACCOUNT, "spilled", self._spilled_nbytes)
+            self._compressed = None
+            self.state = SPILLED
+            governor().note_demotion()
+            return freed
+        return 0
+
+    def _drop_cheap_tiers(self) -> None:
+        """Release compressed/spilled accounting on promotion to hot.
+
+        The spill file itself stays on disk — a later demotion reuses
+        it instead of re-writing — but the governor stops counting it
+        once the hot tier is authoritative again.
+        """
+        if self._compressed is not None:
+            governor().account(ACCOUNT, "compressed", -self._compressed.nbytes)
+            self._compressed = None
+        if self._spilled_nbytes:
+            governor().account(ACCOUNT, "spilled", -self._spilled_nbytes)
+            self._spilled_nbytes = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Release every tier's accounting (store teardown); idempotent."""
+        if self._hot is not None:
+            collection, _ = self._hot
+            self._hot = None
+            if self._hot_accounted:
+                governor().account(ACCOUNT, "resident", -self._hot_accounted)
+                self._hot_accounted = 0
+            if self._arena_release is not None:
+                self._arena_release(collection)
+                self._arena_release = None
+        self._drop_cheap_tiers()
+
+    def __del__(self):  # pragma: no cover - GC backstop
+        # a chunk dropped without close() (a store that was simply
+        # garbage-collected) must still credit the ledger, or the
+        # governor steers against bytes that no longer exist
+        try:
+            self.close()
+        except Exception:
+            pass

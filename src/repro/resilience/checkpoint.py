@@ -50,8 +50,16 @@ def store_dir(base, key: tuple) -> Path:
     return Path(base) / f"rrr-{key_digest(key)}"
 
 
-def _chunk_path(directory: Path, j: int) -> Path:
+def chunk_path(directory: Path, j: int) -> Path:
+    """Where chunk ``j`` lives under a store directory.
+
+    Shared with the memory governor's spill tier: a spilled chunk and a
+    checkpointed chunk are the same file in the same format.
+    """
     return directory / f"chunk_{j:05d}.npz"
+
+
+_chunk_path = chunk_path  # historical internal name
 
 
 def write_manifest(directory: Path, key: tuple) -> None:
@@ -91,6 +99,7 @@ def save_chunk(
     directory: Path, j: int, collection: RRRCollection, trace: SampleTrace
 ) -> None:
     """Persist chunk ``j`` (arrays + trace) atomically."""
+    directory.mkdir(parents=True, exist_ok=True)
     payload = {
         "format": np.asarray(FORMAT),
         "flat": collection.flat,

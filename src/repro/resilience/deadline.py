@@ -41,7 +41,14 @@ _ACTIVE: "contextvars.ContextVar[Optional[Deadline]]" = contextvars.ContextVar(
 
 
 class Deadline:
-    """An absolute monotonic-clock expiry plus a cancellation flag."""
+    """An absolute monotonic-clock expiry plus a cancellation flag.
+
+    The unit of cooperative time budgeting: created at admission (so
+    queue wait counts against the budget), carried as ambient context
+    via :func:`deadline_scope` / :func:`active_deadline`, and checked by
+    every long-running layer at its natural yield points.  ``None``
+    expiry means unbounded; :meth:`cancel` trips the token early.
+    """
 
     __slots__ = ("_expires_at", "_cancelled")
 

@@ -41,7 +41,10 @@ resumed store is bit-identical to an uninterrupted one.
 from __future__ import annotations
 
 import atexit
+import shutil
+import tempfile
 import threading
+import weakref
 from pathlib import Path
 from typing import Optional
 
@@ -49,12 +52,17 @@ import numpy as np
 
 from repro import obs
 from repro.graphs.csc import DirectedGraph
+from repro.memory.budget import governor
+from repro.memory.tiers import COMPRESSED, HOT, TieredChunk, chunk_nbytes
 from repro.resilience.deadline import active_deadline
 from repro.resilience.options import ResilienceOptions
 from repro.rrr.collection import RRRCollection
 from repro.rrr.parallel import SamplerPool
 from repro.rrr.trace import SampleTrace, empty_trace
 from repro.utils.errors import ValidationError
+
+#: the governor account the store's concatenated prefix cache reports under
+CONCAT_ACCOUNT = "rrr.concat"
 
 #: chunk sizes double this many times (then stay flat) so huge θ requests
 #: need O(log θ) chunks early on without unbounded overshoot later
@@ -140,9 +148,19 @@ class RRRStore:
             self._checkpoint_dir = _ckpt.store_dir(checkpoint_dir, self.key())
         self._checkpoint_loaded = False
         self._pool = pool
-        self._chunks: list[tuple[RRRCollection, SampleTrace]] = []
+        self._chunks: list[TieredChunk] = []
         self._collection: Optional[RRRCollection] = None  # concat cache
         self._trace: Optional[SampleTrace] = None
+        self._concat_accounted = 0  # bytes charged under CONCAT_ACCOUNT
+        # tier state is guarded by an RLock so the governor's pressure
+        # walk (possibly running on another store's allocating thread)
+        # never demotes chunks out from under an in-progress ensure();
+        # _relieve() acquires it non-blocking, so cross-store pressure
+        # can never deadlock two allocating threads
+        self._tier_lock = threading.RLock()
+        self._gov = None  # the governor our pressure handler lives on
+        self._gov_handle: Optional[int] = None
+        self._tmp_spill_dir: Optional[Path] = None  # lazy, sans checkpoint
         # the selection-side cache riding this store: one CoverageIndex
         # over the cached stream, extended chunk by chunk, shared by
         # every phase of every run served from this key
@@ -163,8 +181,131 @@ class RRRStore:
 
     @property
     def num_cached(self) -> int:
-        """Kept RRR sets materialized so far."""
-        return sum(c.num_sets for c, _ in self._chunks)
+        """Kept RRR sets materialized so far (any tier; metadata only —
+        reading this never promotes a demoted chunk)."""
+        return sum(c.num_sets for c in self._chunks)
+
+    # -- tiering -------------------------------------------------------------
+    def governed_nbytes(self) -> int:
+        """RAM bytes this store currently holds on the governor's ledger
+        (hot chunks, arena segments, compressed columns, concat cache)."""
+        with self._tier_lock:
+            total = self._concat_accounted
+            if self._arena is not None and not self._arena.closed:
+                total += self._arena.nbytes
+            for chunk in self._chunks:
+                total += chunk._hot_accounted
+                if chunk._compressed is not None:
+                    total += chunk._compressed.nbytes
+            return total
+
+    def _spill_base(self) -> Optional[Path]:
+        """Where demoted chunks land on disk.
+
+        A checkpointing store spills for free into its checkpoint
+        directory (a spilled chunk *is* a chunk checkpoint); otherwise a
+        per-store temp directory is created on first use and removed on
+        :meth:`close`.
+        """
+        if self._checkpoint_dir is not None:
+            return self._checkpoint_dir
+        if self._tmp_spill_dir is None:
+            self._tmp_spill_dir = Path(tempfile.mkdtemp(prefix="repro-spill-"))
+        return self._tmp_spill_dir
+
+    def _wrap_chunk(
+        self, j: int, collection: RRRCollection, trace: SampleTrace,
+        on_disk: bool = False,
+    ) -> TieredChunk:
+        from repro.resilience import checkpoint as _ckpt
+
+        arena_release = None
+        if self._arena is not None and not self._arena.closed and self._arena.owns(collection):
+            arena_release = self._arena.release_segment_of
+        return TieredChunk(
+            j,
+            collection,
+            trace,
+            spill_path=_ckpt.chunk_path(self._spill_base(), j),
+            arena_release=arena_release,
+            on_disk=on_disk,
+        )
+
+    def _ensure_governed(self) -> None:
+        """Register (or lazily re-register) this store's pressure handler.
+
+        ``reset_governor`` replaces the process governor wholesale, so
+        the registration is checked against the *current* governor on
+        every growth path rather than cached forever.  The handler
+        holds only a weak reference: the governor is process-global,
+        and a strong ref here would pin every store (and its arena
+        segments) for the life of the process.
+        """
+        gov = governor()
+        if self._gov is not gov:
+            self._gov = gov
+            ref = weakref.ref(self)
+
+            def _handler(deficit: int, ref=ref) -> int:
+                store = ref()
+                return 0 if store is None else store._relieve(deficit)
+
+            self._gov_handle = gov.add_pressure_handler(_handler, priority=10)
+
+    def _relieve(self, deficit: int) -> int:
+        """Governor pressure hook: demote cold chunks until ``deficit``
+        RAM bytes are freed (or nothing demotable remains).
+
+        Policy, cheapest-to-undo first: hot chunks compress in LRU
+        order, then compressed chunks spill to disk, then the coverage
+        index's dense membership plane is dropped (one rebuild pass
+        from the collection), and only then is the concatenated prefix
+        cache dropped (it is pure cache, but rebuilding it means
+        decoding every chunk).  Non-blocking: if
+        another thread is mid-``ensure`` on this store, pressure moves
+        on to the next handler instead of deadlocking.
+        """
+        if not self._tier_lock.acquire(blocking=False):
+            return 0
+        try:
+            freed = 0
+            for state in (HOT, COMPRESSED):
+                if freed >= deficit:
+                    return freed
+                cold_first = sorted(
+                    (c for c in self._chunks if c.state == state),
+                    key=lambda c: c.last_touch,
+                )
+                for chunk in cold_first:
+                    if freed >= deficit:
+                        return freed
+                    if (
+                        state == HOT
+                        and chunk._hot is not None
+                        and self._collection is chunk._hot[0]
+                    ):
+                        # the concat cache aliases this (single) chunk's
+                        # arrays; drop the alias or the demotion frees
+                        # accounting without freeing memory
+                        freed += self._drop_concat()
+                    freed += chunk.demote()
+            if freed < deficit and self._index is not None:
+                freed += self._index.drop_membership()
+            if freed < deficit:
+                freed += self._drop_concat()
+            return freed
+        finally:
+            self._tier_lock.release()
+
+    def _drop_concat(self) -> int:
+        """Invalidate the concatenated prefix cache; returns bytes freed."""
+        freed = self._concat_accounted
+        if self._concat_accounted:
+            governor().account(CONCAT_ACCOUNT, "resident", -self._concat_accounted)
+            self._concat_accounted = 0
+        self._collection = None
+        self._trace = None
+        return freed
 
     # -- growth --------------------------------------------------------------
     def _chunk_size(self, j: int) -> int:
@@ -225,13 +366,30 @@ class RRRStore:
         Cached chunk *contents* become invalid after close — this is for
         teardown (tests, :func:`clear_stores`), not mid-run trimming.
         """
-        if self._arena is not None:
-            self._arena.close()
-            self._arena = None
-        self._chunks = []
-        self._collection = None
-        self._trace = None
-        self._index = None
+        with self._tier_lock:
+            if self._gov is not None and self._gov_handle is not None:
+                self._gov.remove_pressure_handler(self._gov_handle)
+                self._gov = None
+                self._gov_handle = None
+            for chunk in self._chunks:
+                chunk.close()
+            self._chunks = []
+            self._drop_concat()
+            if self._arena is not None:
+                self._arena.close()
+                self._arena = None
+            self._index = None
+            if self._tmp_spill_dir is not None:
+                shutil.rmtree(self._tmp_spill_dir, ignore_errors=True)
+                self._tmp_spill_dir = None
+
+    def __del__(self):  # pragma: no cover - GC backstop
+        # stores abandoned without close() must not leave their concat
+        # bytes (or a dead pressure handler) on the process governor
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- checkpointing -------------------------------------------------------
     def _load_checkpoint(self) -> None:
@@ -251,9 +409,15 @@ class RRRStore:
             self._checkpoint_dir, self.key(), self.graph.n, self._chunk_size
         )
         if len(chunks) > len(self._chunks):
-            self._chunks = chunks
-            self._collection = None
-            self._trace = None
+            # already on disk => a later spill of these chunks is free
+            self._chunks = [
+                self._wrap_chunk(j, collection, trace, on_disk=True)
+                for j, (collection, trace) in enumerate(chunks)
+            ]
+            self._drop_concat()
+            # a tight budget may not even want the resumed prefix hot;
+            # rebalance immediately rather than after the first top-up
+            governor().request(0)
 
     def _save_chunk(self, j: int, chunk: tuple[RRRCollection, SampleTrace]) -> None:
         if self._checkpoint_dir is None:
@@ -273,48 +437,95 @@ class RRRStore:
         if theta < 0:
             raise ValidationError("theta must be non-negative")
         obs.counter_add("rrr.store.requests", 1)
-        self._load_checkpoint()
-        cached = self.num_cached
-        obs.counter_add("rrr.store.reused_sets", min(theta, cached))
-        sampled_new = 0
-        deadline = active_deadline()
-        while self.num_cached < theta:
-            # cached prefixes always serve; only *new* sampling is
-            # subject to the ambient deadline, one chunk at a time
-            if deadline is not None:
-                deadline.check("store chunk top-up")
-            j = len(self._chunks)
-            with obs.span("rrr.store.topup"):
-                chunk = self._sample_chunk(j)
-            self._chunks.append(chunk)
-            self._save_chunk(j, chunk)
-            sampled_new += chunk[0].num_sets
-            self._collection = None
-            self._trace = None
-        if sampled_new:
-            obs.counter_add("rrr.store.topups", 1)
-            obs.counter_add("rrr.store.sampled_sets", sampled_new)
-        self._materialize()
-        return self._collection.prefix(theta), self._trace_prefix(theta)
+        with self._tier_lock:
+            self._ensure_governed()
+            self._load_checkpoint()
+            cached = self.num_cached
+            obs.counter_add("rrr.store.reused_sets", min(theta, cached))
+            sampled_new = 0
+            deadline = active_deadline()
+            if self.num_cached < theta:
+                # the concat is about to go stale; dropping it *before*
+                # sampling keeps the ledger from holding the old prefix
+                # and the new chunks at once under a tight budget
+                self._drop_concat()
+            while self.num_cached < theta:
+                # cached prefixes always serve; only *new* sampling is
+                # subject to the ambient deadline, one chunk at a time
+                if deadline is not None:
+                    deadline.check("store chunk top-up")
+                j = len(self._chunks)
+                with obs.span("rrr.store.topup"):
+                    collection, trace = self._sample_chunk(j)
+                # make room (demoting older chunks) before the new
+                # chunk's bytes land on the ledger, so peak residency
+                # tracks the budget instead of budget + chunk
+                governor().request(chunk_nbytes(collection, trace))
+                self._save_chunk(j, (collection, trace))
+                self._chunks.append(
+                    self._wrap_chunk(
+                        j, collection, trace,
+                        on_disk=self._checkpoint_dir is not None,
+                    )
+                )
+                sampled_new += collection.num_sets
+            if sampled_new:
+                obs.counter_add("rrr.store.topups", 1)
+                obs.counter_add("rrr.store.sampled_sets", sampled_new)
+            self._materialize()
+            return self._collection.prefix(theta), self._trace_prefix(theta)
 
     def _materialize(self) -> None:
-        """Rebuild the concatenated collection/trace caches if stale."""
+        """Rebuild the concatenated collection/trace caches if stale.
+
+        Chunk reads here are *transient* (``promote=False``): under a
+        tight budget each demoted chunk's decode streams into the
+        concat without re-hydrating the chunk list, so accounted
+        residency after a rebuild is one concat — not concat plus
+        every chunk hot again.
+        """
         if self._collection is not None:
             return
-        if self._chunks:
-            self._collection = RRRCollection.concat([c for c, _ in self._chunks])
-            trace = empty_trace()
-            for _, t in self._chunks:
-                trace = trace.merged_with(t)
+        with self._tier_lock:
+            if self._collection is not None:
+                return
+            if not self._chunks:
+                self._collection = RRRCollection(
+                    np.empty(0, dtype=np.int32),
+                    np.zeros(1, dtype=np.int64),
+                    self.graph.n,
+                    sources=np.empty(0, dtype=np.int64),
+                )
+                self._trace = empty_trace()
+                return
+            # make room up front: the rebuilt cache is roughly the
+            # chunks' combined hot footprint
+            governor().request(sum(c.nbytes_hot for c in self._chunks))
+            parts = [c.get(promote=False) for c in self._chunks]
+            if len(parts) == 1:
+                collection, trace = parts[0]
+            else:
+                collection = RRRCollection.concat([c for c, _ in parts])
+                trace = empty_trace()
+                for _, t in parts:
+                    trace = trace.merged_with(t)
+            self._collection = collection
             self._trace = trace
-        else:
-            self._collection = RRRCollection(
-                np.empty(0, dtype=np.int32),
-                np.zeros(1, dtype=np.int64),
-                self.graph.n,
-                sources=np.empty(0, dtype=np.int64),
+            chunk0 = self._chunks[0]
+            aliased = (
+                len(self._chunks) == 1
+                and chunk0._hot is not None
+                and collection is chunk0._hot[0]
             )
-            self._trace = empty_trace()
+            # charge the cache unless it aliases a (single) hot chunk's
+            # arrays, which the chunk already accounts for
+            self._concat_accounted = (
+                0 if aliased else chunk_nbytes(collection, trace)
+            )
+            if self._concat_accounted:
+                governor().account(
+                    CONCAT_ACCOUNT, "resident", self._concat_accounted
+                )
 
     def coverage_index(self):
         """The persistent vertex->position :class:`~repro.imm.coverage.CoverageIndex`
@@ -329,12 +540,14 @@ class RRRStore:
         """
         from repro.imm.coverage import CoverageIndex
 
-        self._load_checkpoint()
-        self._materialize()
-        if self._index is None:
-            self._index = CoverageIndex(self.graph.n)
-        self._index.extend_to(self._collection)
-        return self._index
+        with self._tier_lock:
+            self._ensure_governed()
+            self._load_checkpoint()
+            self._materialize()
+            if self._index is None:
+                self._index = CoverageIndex(self.graph.n)
+            self._index.extend_to(self._collection)
+            return self._index
 
     def _trace_prefix(self, theta: int) -> SampleTrace:
         """The trace slice covering the attempts behind the first

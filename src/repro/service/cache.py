@@ -18,20 +18,57 @@ Two tiers, from cheapest to most expensive:
 Both tiers are thread-safe; the substrate table additionally tracks
 in-flight use so eviction never closes a store a worker is reading.
 Evictions are published as ``service.evictions``.
+
+Both tiers also register with the process memory governor
+(:mod:`repro.memory.budget`): cached results pin the RRR prefix views
+they carry, so under memory pressure the result cache sheds LRU
+entries (releasing those pins) and the substrate table closes *idle*
+substrates — never one with an in-flight query, the same invariant its
+capacity eviction already honors.
 """
 
 from __future__ import annotations
 
 import threading
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro import obs
+from repro.memory.budget import governor
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only
     from repro.imm.imm import IMMResult
     from repro.rrr.store import RRRStore
+
+#: governor account for tier-1 cached results (their owned arrays only;
+#: the RRR views they pin are accounted by the store that built them)
+RESULTS_ACCOUNT = "service.results"
+#: governor account marker for tier-2 substrates (the stores themselves
+#: account their bytes under ``rrr.*``; the table contributes pressure
+#: handling, not bytes)
+SUBSTRATES_ACCOUNT = "service.substrates"
+
+
+def _result_owned_nbytes(result: "IMMResult") -> int:
+    """The bytes a cached result *owns* (seed array and friends).
+
+    Deliberately excludes ``result.collection`` — that is a view over
+    the producing store's concat cache, already on the ledger under
+    ``rrr.concat``; charging it here would double-count.  Entries that
+    are not :class:`IMMResult` objects (test doubles) get a nominal
+    charge so the LRU accounting still moves.
+    """
+    seeds = getattr(result, "seeds", None)
+    if seeds is None or not hasattr(seeds, "nbytes"):
+        return 256
+    total = int(seeds.nbytes)
+    try:
+        total += int(result.selection.coverage_history.nbytes)
+    except AttributeError:
+        pass
+    return total
 
 
 class ExactResultCache:
@@ -41,6 +78,49 @@ class ExactResultCache:
         self._capacity = int(capacity)
         self._entries: "OrderedDict[tuple, IMMResult]" = OrderedDict()
         self._lock = threading.Lock()
+        self._accounted = 0
+        self._gov = None
+        self._gov_handle: Optional[int] = None
+
+    def _ensure_governed_locked(self) -> None:
+        gov = governor()
+        if self._gov is not gov:
+            self._gov = gov
+            # results are pure cache: shed them late, after chunk
+            # demotion (10) but before idle substrates close (30).
+            # Weak ref: the process-global governor must not pin caches
+            # (and the result views they hold) past their service.
+            ref = weakref.ref(self)
+
+            def _handler(deficit: int, ref=ref) -> int:
+                cache = ref()
+                return 0 if cache is None else cache._relieve(deficit)
+
+            self._gov_handle = gov.add_pressure_handler(_handler, priority=20)
+
+    def _relieve(self, deficit: int) -> int:
+        """Pressure hook: drop LRU results until the cache is empty or
+        the (estimated) pinned bytes shed reach ``deficit``.
+
+        The freed estimate counts each entry's pinned prefix view —
+        dropping the last reference to a demoted store's concat is the
+        actual memory win, even though those bytes sit on the store's
+        account, not this one.
+        """
+        freed = 0
+        with self._lock:
+            while self._entries and freed < deficit:
+                _, result = self._entries.popitem(last=False)
+                owned = _result_owned_nbytes(result)
+                self._accounted = max(0, self._accounted - owned)
+                governor().account(RESULTS_ACCOUNT, "resident", -owned)
+                freed += owned
+                collection = getattr(result, "collection", None)
+                if collection is not None:
+                    freed += int(collection.flat.nbytes)
+                obs.counter_add("service.evictions", 1)
+                obs.counter_add("service.memory_evictions", 1)
+        return freed
 
     def __len__(self) -> int:
         with self._lock:
@@ -57,11 +137,19 @@ class ExactResultCache:
         if self._capacity == 0:
             return
         with self._lock:
+            self._ensure_governed_locked()
+            previous = self._entries.get(key)
+            delta = _result_owned_nbytes(result)
+            if previous is not None:
+                delta -= _result_owned_nbytes(previous)
             self._entries[key] = result
             self._entries.move_to_end(key)
             while len(self._entries) > self._capacity:
-                self._entries.popitem(last=False)
+                _, dropped = self._entries.popitem(last=False)
+                delta -= _result_owned_nbytes(dropped)
                 obs.counter_add("service.evictions", 1)
+            self._accounted = max(0, self._accounted + delta)
+            governor().account(RESULTS_ACCOUNT, "resident", delta)
 
     def find_relaxed(
         self, key: tuple, slack: float
@@ -92,6 +180,20 @@ class ExactResultCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            if self._accounted:
+                governor().account(RESULTS_ACCOUNT, "resident", -self._accounted)
+                self._accounted = 0
+            if self._gov is not None and self._gov_handle is not None:
+                self._gov.remove_pressure_handler(self._gov_handle)
+                self._gov = None
+                self._gov_handle = None
+
+    def __del__(self):  # pragma: no cover - GC backstop
+        # a cache dropped without clear() must credit its ledger bytes
+        try:
+            self.clear()
+        except Exception:
+            pass
 
 
 @dataclass
@@ -124,6 +226,8 @@ class SubstrateTable:
         self._capacity = int(capacity)
         self._entries: "OrderedDict[tuple, Substrate]" = OrderedDict()
         self._lock = threading.Lock()
+        self._gov = None
+        self._gov_handle: Optional[int] = None
 
     def __len__(self) -> int:
         with self._lock:
@@ -133,10 +237,61 @@ class SubstrateTable:
         with self._lock:
             return list(self._entries)
 
+    def _ensure_governed_locked(self) -> None:
+        gov = governor()
+        if self._gov is not gov:
+            self._gov = gov
+            # closing a warm substrate forfeits its whole cached stream:
+            # last resort, after chunk demotion (10) and result-cache
+            # shedding (20).  Weak ref, same as the other handlers —
+            # the governor must not keep substrate tables (and their
+            # stores' segments) alive past their service.
+            ref = weakref.ref(self)
+
+            def _handler(deficit: int, ref=ref) -> int:
+                table = ref()
+                return 0 if table is None else table._relieve(deficit)
+
+            self._gov_handle = gov.add_pressure_handler(_handler, priority=30)
+
+    def _relieve(self, deficit: int) -> int:
+        """Pressure hook: close LRU *idle* substrates.
+
+        The in-flight guard is the same one capacity eviction honors —
+        a worker mid-query holds views into its substrate's store (and,
+        on the shm plane, attachments to its arena segments), so a
+        busy substrate is never closed, no matter how deep the deficit.
+        Non-blocking on the table lock: pressure raised *by* an acquire
+        on this table must not deadlock against it.
+        """
+        if not self._lock.acquire(blocking=False):
+            return 0
+        try:
+            victims: list[Substrate] = []
+            freed = 0
+            while freed < deficit:
+                victim_key = next(
+                    (k for k, s in self._entries.items() if s.inflight == 0),
+                    None,
+                )
+                if victim_key is None:
+                    break
+                victim = self._entries.pop(victim_key)
+                victims.append(victim)
+                freed += victim.store.governed_nbytes()
+        finally:
+            self._lock.release()
+        for victim in victims:
+            victim.store.close()
+            obs.counter_add("service.evictions", 1)
+            obs.counter_add("service.memory_evictions", 1)
+        return freed
+
     def acquire(self, key: tuple, factory) -> tuple[Substrate, bool]:
         """``(substrate, was_warm)`` for ``key``, pinned against eviction."""
         evicted: list[Substrate] = []
         with self._lock:
+            self._ensure_governed_locked()
             substrate = self._entries.get(key)
             warm = substrate is not None
             if substrate is None:
@@ -184,5 +339,19 @@ class SubstrateTable:
         """Close every substrate store (service shutdown)."""
         with self._lock:
             entries, self._entries = list(self._entries.values()), OrderedDict()
+            if self._gov is not None and self._gov_handle is not None:
+                self._gov.remove_pressure_handler(self._gov_handle)
+                self._gov = None
+                self._gov_handle = None
         for substrate in entries:
             substrate.store.close()
+
+    def __del__(self):  # pragma: no cover - GC backstop
+        # only the handler entry needs reaping: the substrates' stores
+        # carry their own finalizers, and a shared store must not be
+        # force-closed by a dying table
+        try:
+            if self._gov is not None and self._gov_handle is not None:
+                self._gov.remove_pressure_handler(self._gov_handle)
+        except Exception:
+            pass

@@ -72,6 +72,19 @@ class ServiceOptions:
         answer computed at ``epsilon' <= slack * epsilon`` may stand in
         for ``epsilon`` while degraded.  ``1.0`` restricts degraded
         serving to exact-tier hits.
+    memory_budget_mb:
+        Process memory budget in MiB, installed on the shared governor
+        (:mod:`repro.memory.budget`) when the service starts.  ``None``
+        leaves whatever ``REPRO_MEMORY_BUDGET_MB`` (or an earlier
+        explicit setting) resolved.
+    shed_on_memory_pressure:
+        When ``True`` (default), a query arriving while the governor is
+        overcommitted — *after* a demotion rebalance failed to free
+        enough RAM — is answered degraded from cache where possible or
+        rejected with
+        :class:`~repro.utils.errors.ServiceOverloadedError`, instead of
+        being admitted toward a host OOM.  No-op while no budget is
+        configured.
     """
 
     max_inflight: int = 2
@@ -85,6 +98,8 @@ class ServiceOptions:
     breaker_reset_timeout: float = 30.0
     degraded_serving: bool = True
     degraded_epsilon_slack: float = 2.0
+    memory_budget_mb: float | None = None
+    shed_on_memory_pressure: bool = True
 
     def __post_init__(self):
         if self.max_inflight < 1:
@@ -105,6 +120,8 @@ class ServiceOptions:
             raise ValidationError("breaker_reset_timeout must be positive")
         if not self.degraded_epsilon_slack >= 1.0:
             raise ValidationError("degraded_epsilon_slack must be >= 1.0")
+        if self.memory_budget_mb is not None and not self.memory_budget_mb > 0:
+            raise ValidationError("memory_budget_mb must be positive or None")
 
     def replace(self, **changes) -> "ServiceOptions":
         """A copy with ``changes`` applied (frozen-dataclass convenience)."""

@@ -69,6 +69,7 @@ from typing import Optional, Union
 from repro import obs
 from repro.graphs.csc import DirectedGraph
 from repro.imm.imm import IMMResult, run_imm
+from repro.memory.budget import governor
 from repro.resilience.deadline import Deadline, deadline_scope
 from repro.resilience.faults import (
     ENV_VAR,
@@ -111,6 +112,10 @@ class InfluenceService:
 
     def __init__(self, options: Optional[ServiceOptions] = None):
         self.options = options if options is not None else ServiceOptions()
+        if self.options.memory_budget_mb is not None:
+            governor().set_budget(
+                int(self.options.memory_budget_mb * 1024 * 1024)
+            )
         self._graphs: dict[str, DirectedGraph] = {}
         self._graphs_lock = threading.Lock()
         self._results = ExactResultCache(self.options.exact_cache_size)
@@ -204,6 +209,34 @@ class InfluenceService:
         decision = self._breaker.admit(key)
         if decision == "open":
             return self._serve_degraded(query, graph, key, start), deadline
+
+        # memory admission: consult the governor's ledger before taking
+        # on work that allocates.  request(0) is a pure rebalance —
+        # demote cold chunks, shed caches — and only if the process is
+        # *still* overcommitted afterwards is the query shed/degraded
+        # (the PR 8 degraded paths) rather than marched toward an OOM.
+        gov = governor()
+        if (
+            self.options.shed_on_memory_pressure
+            and gov.overcommitted()
+            and not gov.request(0)
+        ):
+            self._count("service.memory_pressure")
+            if decision == "probe":
+                self._breaker.release_probe(key)
+            if self.options.degraded_serving:
+                degraded = self._degraded_outcome(query, graph, key, start)
+                if degraded is not None:
+                    self._count("service.memory_pressure.degraded")
+                    resolved: "Future[QueryOutcome]" = Future()
+                    resolved.set_result(degraded)
+                    return resolved, deadline
+            self._count("service.memory_pressure.shed")
+            raise ServiceOverloadedError(
+                "memory budget exhausted "
+                f"(charged {gov.charged_bytes} of {gov.budget_bytes} bytes); "
+                "retry later or raise --memory-budget-mb"
+            )
 
         job = ScheduledJob(query=query, key=key, deadline=deadline)
         try:
@@ -353,7 +386,16 @@ class InfluenceService:
                                 options=query.options,
                                 store=substrate.store,
                             )
-                    except _BREAKER_FAILURES:
+                    except _BREAKER_FAILURES as exc:
+                        if isinstance(exc, MemoryError):
+                            # forensics for the runbook: which tier was
+                            # exhausted when the allocation failed —
+                            # "spilled" means even disk-backed tiering
+                            # couldn't keep the working set resident
+                            self._count(
+                                "service.oom_tier."
+                                + governor().exhausted_tier()
+                            )
                         self._breaker.record_failure(job.key)
                         raise
                     self._breaker.record_success(job.key)
@@ -428,6 +470,7 @@ class InfluenceService:
             "substrates": self._substrates.residency(),
             "exact_cache_entries": len(self._results),
             "registered_graphs": len(self._graphs),
+            "memory": governor().snapshot(),
             "counters": counters,
         }
 

@@ -21,10 +21,14 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro import obs
+from repro.memory.budget import governor
 from repro.rrr.collection import RRRCollection
 from repro.shm.segments import REGISTRY, Segment, SegmentRegistry
 from repro.shm.transport import PackedResult
 from repro.utils.errors import ValidationError
+
+#: the governor account arena segments report under
+ACCOUNT = "shm.arena"
 
 
 class ArenaChunk:
@@ -72,7 +76,12 @@ class ChunkArena:
         off_bytes = _align8(8 * (num_sets + 1))
         src_bytes = _align8(8 * num_sets)
         flat_bytes = 4 * flat_len
-        segment = self._registry.create(off_bytes + src_bytes + flat_bytes, "chunk")
+        total = off_bytes + src_bytes + flat_bytes
+        # ask the governor for room first: under a budget this demotes
+        # cold chunks *before* the new segment lands, not after
+        governor().request(total)
+        segment = self._registry.create(total, "chunk")
+        governor().account(ACCOUNT, "resident", segment.nbytes)
         offsets = segment.view(np.int64, num_sets + 1, offset=0)
         sources = segment.view(np.int64, num_sets, offset=off_bytes)
         flat = segment.view(np.int32, flat_len, offset=off_bytes + src_bytes)
@@ -127,6 +136,31 @@ class ChunkArena:
             chunk.flat, chunk.offsets, collection.n, sources=sources, check=False
         )
 
+    def owns(self, collection: RRRCollection) -> bool:
+        """Whether ``collection``'s arrays live in one of this arena's
+        segments (pool fan-out can still return heap arrays for small
+        requests, so callers must not assume)."""
+        return any(s.owns_array(collection.offsets) for s in self._segments)
+
+    def release_segment_of(self, collection: RRRCollection) -> int:
+        """Unlink the one segment backing ``collection``; returns its bytes.
+
+        The demotion path of a tiered chunk: once the chunk's columns
+        are packed into the compressed tier, its shared segment is no
+        longer needed.  The owner is found by pointer containment
+        (``offsets`` always lives in the chunk's segment); an unknown
+        collection is a no-op returning 0.  Any views still handed out
+        stay readable until they are garbage collected — unlinking
+        removes the name, not the mapping.
+        """
+        for segment in self._segments:
+            if segment.owns_array(collection.offsets):
+                self._segments.remove(segment)
+                self._registry.release(segment)
+                governor().account(ACCOUNT, "resident", -segment.nbytes)
+                return segment.nbytes
+        return 0
+
     # -- lifecycle -----------------------------------------------------------
     @property
     def closed(self) -> bool:
@@ -147,6 +181,7 @@ class ChunkArena:
         self._closed = True
         for segment in self._segments:
             self._registry.release(segment)
+            governor().account(ACCOUNT, "resident", -segment.nbytes)
         self._segments = []
 
     def __del__(self):

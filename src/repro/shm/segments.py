@@ -111,6 +111,20 @@ class Segment:
     def closed(self) -> bool:
         return self._closed
 
+    def owns_array(self, arr: np.ndarray) -> bool:
+        """Whether ``arr``'s data lives inside this segment's mapping.
+
+        How the chunk arena finds the segment backing a collection it
+        is asked to demote: views handed out by :meth:`view` point
+        into the mapping, so pointer containment identifies the owner
+        without any side table.
+        """
+        if self._closed:
+            return False
+        base = np.frombuffer(self._shm.buf, dtype=np.uint8)
+        start = base.ctypes.data
+        return start <= arr.ctypes.data < start + self.nbytes
+
     def view(self, dtype, shape, offset: int = 0) -> np.ndarray:
         """A zero-copy ndarray over ``[offset, offset + size)`` bytes.
 

@@ -63,7 +63,12 @@ class ServiceOverloadedError(ServiceError):
 
 
 class ServiceClosedError(ServiceError):
-    """A query was submitted to a service after :meth:`close`."""
+    """A query was submitted to a service after :meth:`close`.
+
+    Also delivered to queries still queued when a drain times out:
+    queued work always resolves — by finishing or by this error —
+    never by hanging.
+    """
 
 
 class DeadlineExceededError(ReproError, TimeoutError):

@@ -1,0 +1,187 @@
+"""Tiered RRR storage: bit-identical round trips, demotion, pressure.
+
+The hard invariant under test: selected seeds (and every RRR prefix)
+are bit-identical at every memory budget — tiering may only change
+wall-clock and residency, never results.
+"""
+
+import numpy as np
+import pytest
+
+from repro import IMMOptions, run_imm
+from repro.imm.bounds import BoundsConfig
+from repro.memory.budget import MemoryBudget, budget_scope, governor
+from repro.memory.tiers import (
+    COMPRESSED,
+    HOT,
+    SPILLED,
+    CompressedChunk,
+    TieredChunk,
+    chunk_nbytes,
+)
+from repro.rrr.store import RRRStore
+from repro.service.cache import Substrate, SubstrateTable
+
+BOUNDS = BoundsConfig(theta_scale=0.1)
+MB = 1024 * 1024
+
+
+def _one_chunk(graph, theta=200, entropy=7):
+    store = RRRStore(graph, entropy=entropy, chunk_sets=64)
+    store.ensure(theta)
+    chunk = store._chunks[0]
+    collection, trace = chunk.get(promote=False)
+    return store, chunk, collection, trace
+
+
+def _assert_chunks_equal(a, b):
+    coll_a, trace_a = a
+    coll_b, trace_b = b
+    assert np.array_equal(coll_a.flat, coll_b.flat)
+    assert np.array_equal(coll_a.offsets, coll_b.offsets)
+    if coll_a.sources is None:
+        assert coll_b.sources is None
+    else:
+        assert np.array_equal(coll_a.sources, coll_b.sources)
+    assert np.array_equal(trace_a.sizes, trace_b.sizes)
+    assert np.array_equal(trace_a.rounds, trace_b.rounds)
+    assert np.array_equal(trace_a.edges_examined, trace_b.edges_examined)
+    assert np.array_equal(trace_a.kept_mask, trace_b.kept_mask)
+    assert np.array_equal(trace_a.sources, trace_b.sources)
+    assert trace_a.raw_singletons == trace_b.raw_singletons
+
+
+def test_compressed_chunk_round_trip_is_bit_identical(small_ic_graph):
+    store, chunk, collection, trace = _one_chunk(small_ic_graph)
+    packed = CompressedChunk.encode(collection, trace)
+    assert 0 < packed.nbytes < chunk_nbytes(collection, trace)
+    _assert_chunks_equal(packed.decode(), (collection, trace))
+    store.close()
+
+
+def test_tiered_chunk_walks_down_the_ladder(tmp_path, small_ic_graph):
+    store, _, collection, trace = _one_chunk(small_ic_graph)
+    chunk = TieredChunk(0, collection, trace,
+                        spill_path=tmp_path / "chunk_00000.npz")
+    original = chunk.get(promote=False)
+
+    assert chunk.state == HOT
+    freed = chunk.demote()
+    assert chunk.state == COMPRESSED
+    assert freed > 0
+    _assert_chunks_equal(chunk.get(promote=False), original)
+
+    chunk.demote()
+    assert chunk.state == SPILLED
+    assert (tmp_path / "chunk_00000.npz").exists()
+    _assert_chunks_equal(chunk.get(promote=False), original)
+    assert chunk.state == SPILLED  # transient read did not promote
+
+    _assert_chunks_equal(chunk.get(promote=True), original)
+    assert chunk.state == HOT  # promoting read did
+    chunk.close()
+    store.close()
+
+
+def test_chunk_accounting_credits_on_gc(small_ic_graph):
+    gov = governor()
+    before = gov.charged_bytes
+    store, chunk, _, _ = _one_chunk(small_ic_graph)
+    assert gov.charged_bytes > before
+    # dropped without close(): the finalizers must credit the ledger
+    del store, chunk
+    assert gov.charged_bytes <= before
+
+
+def test_store_results_bit_identical_across_budgets(small_ic_graph):
+    opts = IMMOptions(bounds=BOUNDS)
+    baseline = run_imm(small_ic_graph, 5, 0.3, rng=3, options=opts)
+    for budget in (64 * MB, 256 * 1024, 64 * 1024):
+        with budget_scope(budget):
+            result = run_imm(small_ic_graph, 5, 0.3, rng=3, options=opts)
+        assert np.array_equal(result.seeds, baseline.seeds), budget
+        assert result.theta == baseline.theta
+
+
+def test_tight_budget_actually_demotes(small_ic_graph):
+    store = RRRStore(small_ic_graph, entropy=11, chunk_sets=32)
+    with budget_scope(48 * 1024) as gov:
+        collection, _ = store.ensure(600)
+        assert gov.snapshot()["demotions"] > 0
+        # the stream survives tiering bit for bit
+        fresh, _ = RRRStore(small_ic_graph, entropy=11,
+                            chunk_sets=32).ensure(600)
+        assert np.array_equal(collection.flat, fresh.flat)
+    store.close()
+
+
+def test_spilled_store_serves_after_rebalance(small_ic_graph):
+    store = RRRStore(small_ic_graph, entropy=13, chunk_sets=32)
+    reference, _ = store.ensure(400)
+    reference_flat = reference.flat.copy()
+    with budget_scope(16 * 1024) as gov:
+        gov.request(0)  # pure rebalance: push the chunks cold
+        snap = gov.snapshot()
+        assert snap["demotions"] > 0
+    served, _ = store.ensure(400)
+    assert np.array_equal(served.flat, reference_flat)
+    store.close()
+
+
+def test_substrate_pressure_never_closes_inflight_store(small_ic_graph):
+    """Regression: a budget-driven sweep must skip busy substrates.
+
+    A worker mid-query holds views into its substrate's store (and, on
+    the shm plane, attachments into its arena segments); closing —
+    and unlinking — under it would invalidate live memory.  The
+    in-flight guard therefore applies to pressure eviction exactly as
+    it does to capacity eviction.
+    """
+    table = SubstrateTable(capacity=4)
+
+    def factory_for(entropy):
+        return lambda: RRRStore(small_ic_graph, entropy=entropy,
+                                chunk_sets=64)
+
+    busy, _ = table.acquire(("busy",), factory_for(1))
+    idle, _ = table.acquire(("idle",), factory_for(2))
+    busy.store.ensure(100)
+    idle.store.ensure(100)
+    table.release(idle)  # only 'idle' goes quiescent
+
+    freed = table._relieve(10**12)  # deficit larger than everything
+    assert freed > 0
+    assert table.keys() == [("busy",)]
+    # the busy store must still serve — nothing was unlinked under it
+    collection, _ = busy.store.ensure(150)
+    assert collection.num_sets >= 150
+    # the idle store was closed and credited
+    assert idle.store.governed_nbytes() == 0
+
+    table.release(busy)
+    table.close()
+
+
+def test_substrate_pressure_skips_entirely_busy_table(small_ic_graph):
+    table = SubstrateTable(capacity=2)
+    sub, _ = table.acquire(("k",), lambda: RRRStore(small_ic_graph,
+                                                    entropy=3,
+                                                    chunk_sets=64))
+    sub.store.ensure(50)
+    assert table._relieve(10**12) == 0  # everything in flight: freed nothing
+    assert table.keys() == [("k",)]
+    table.release(sub)
+    table.close()
+
+
+def test_governor_handler_does_not_pin_stores(small_ic_graph):
+    """The governor's pressure handler must hold the store weakly —
+    a store that went out of scope gets collected (and its arena
+    segments released) even though it once registered for pressure."""
+    import weakref
+
+    store = RRRStore(small_ic_graph, entropy=21, chunk_sets=64)
+    store.ensure(100)
+    ref = weakref.ref(store)
+    del store
+    assert ref() is None

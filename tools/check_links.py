@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Markdown link checker for the repository's docs.
+
+Walks every tracked ``*.md`` file and verifies that each relative link
+target exists — files resolve on disk, and ``#fragment`` anchors match
+a heading in the target document (GitHub slug rules, simplified).
+External ``http(s)://`` links are *not* fetched (CI must stay
+offline-deterministic); they are only syntax-checked.
+
+Exit status: 0 when every link resolves, 1 otherwise (each failure is
+printed as ``file:line: message``).
+
+Run from the repository root::
+
+    python tools/check_links.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[(?:[^\]]*)\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+SKIP_DIRS = {".git", "__pycache__", "node_modules", ".pytest_cache",
+             "benchmarks/reports"}
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (simplified, ASCII-focused)."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    text = path.read_text(encoding="utf-8")
+    return {github_slug(m.group(1)) for m in HEADING.finditer(text)}
+
+
+def markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        rel = path.relative_to(root)
+        if any(str(rel).startswith(d) for d in SKIP_DIRS):
+            continue
+        yield path
+
+
+def check_file(path: Path, root: Path) -> list:
+    failures = []
+    text = path.read_text(encoding="utf-8")
+    in_code = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            base, _, fragment = target.partition("#")
+            if base:
+                resolved = (path.parent / base).resolve()
+                if not resolved.exists():
+                    failures.append(
+                        f"{path.relative_to(root)}:{lineno}: "
+                        f"broken link target {target!r}"
+                    )
+                    continue
+            else:
+                resolved = path
+            if fragment and resolved.suffix == ".md":
+                if github_slug(fragment) not in anchors_of(resolved):
+                    failures.append(
+                        f"{path.relative_to(root)}:{lineno}: "
+                        f"anchor #{fragment} not found in "
+                        f"{resolved.relative_to(root)}"
+                    )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=str(Path(__file__).resolve().parent.parent),
+                        help="repository root (default: the checkout)")
+    args = parser.parse_args(argv)
+    root = Path(args.root).resolve()
+
+    failures = []
+    checked = 0
+    for path in markdown_files(root):
+        checked += 1
+        failures.extend(check_file(path, root))
+
+    for failure in failures:
+        print(failure)
+    print(f"[check_links] {checked} markdown files, "
+          f"{len(failures)} broken links")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
